@@ -1,0 +1,15 @@
+"""Shared bench plumbing.
+
+Each bench regenerates one paper table or one DESIGN.md experiment and
+prints the rows (run with ``pytest benchmarks/ --benchmark-only -s`` to
+see them).  Benches assert the *shape* of each result — who wins, by
+roughly what factor, where crossovers fall — per the reproduction targets
+in DESIGN.md §3.
+"""
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a bench artifact under a clear banner."""
+    print(f"\n=== {title} ===\n{body}")

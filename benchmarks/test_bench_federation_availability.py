@@ -1,0 +1,62 @@
+"""E4 — federated single points of failure (§3.2, §5.1).
+
+The paper: OStatus-style applications "are bottlenecked by single servers
+that can cause entire instances to be inaccessible if they fail", while
+Matrix "provides high availability by replicating data over the entire
+network".  The bench fails k of N servers and measures the fraction of
+users who can still read the full room history.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_federation_availability
+
+N_SERVERS = 5
+N_USERS = 20
+
+
+def test_bench_federation_availability(benchmark):
+    rows = benchmark.pedantic(
+        run_federation_availability,
+        kwargs={"seed": 7, "n_servers": N_SERVERS, "n_users": N_USERS,
+                "failed_servers": 1},
+        rounds=1, iterations=1,
+    )
+    emit("E4 — read availability after 1/5 servers fail", render_table(rows))
+    by_model = {row["model"]: row["read_availability"] for row in rows}
+    # Single-home: users of the dead instance (1/5 of them) are cut off.
+    assert by_model["single_home"] == pytest.approx(1 - 1 / N_SERVERS)
+    # Replication alone does not help users bound to their home server...
+    assert by_model["replicated"] == pytest.approx(1 - 1 / N_SERVERS)
+    # ...but replication + failover restores full availability.
+    assert by_model["replicated_failover"] == 1.0
+
+
+def test_bench_federation_availability_scaling_failures(benchmark):
+    def sweep_failures():
+        out = []
+        for failed in (0, 1, 2, 3):
+            rows = run_federation_availability(
+                seed=11, n_servers=N_SERVERS, n_users=N_USERS,
+                failed_servers=failed,
+            )
+            for row in rows:
+                out.append(row)
+        return out
+
+    rows = benchmark.pedantic(sweep_failures, rounds=1, iterations=1)
+    emit("E4 — availability vs number of failed servers", render_table(rows))
+    failover = {
+        row["failed"]: row["read_availability"]
+        for row in rows if row["model"] == "replicated_failover"
+    }
+    single = {
+        row["failed"]: row["read_availability"]
+        for row in rows if row["model"] == "single_home"
+    }
+    # Single-home degrades linearly with failed instances; failover stays
+    # at 1.0 until every server is gone.
+    for failed in (0, 1, 2, 3):
+        assert single[failed] == pytest.approx(1 - failed / N_SERVERS)
+        assert failover[failed] == 1.0

@@ -1,0 +1,39 @@
+"""Extension bench — abuse prevention vs expression (§3.2).
+
+The paper: "moderation is often in direct tension with freedom of
+expression", centralized norms are dictated by operators, and federations
+let each instance set its own rules.  One spam-laced traffic mix runs
+through four regimes; the tension shows up as spam-pass-rate vs
+collateral-block-rate.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.analysis.experiments import run_moderation_comparison
+
+
+def test_bench_moderation(benchmark):
+    rows = benchmark(run_moderation_comparison, 5)
+    emit("Moderation regimes — spam pass rate vs collateral censorship",
+         render_table(rows))
+    by_regime = {row["regime"]: row for row in rows}
+
+    none = by_regime["none (pure P2P)"]
+    keyword = by_regime["central keyword filter"]
+    reputation = by_regime["report-driven reputation"]
+    federated = by_regime["per-instance federation"]
+
+    # No moderation: all spam delivered, nothing censored.
+    assert none["spam_pass_rate"] == 1.0
+    assert none["collateral_block_rate"] == 0.0
+    # Central keyword filter kills the spam AND some legitimate speech —
+    # the moderation/expression tension, measured.
+    assert keyword["spam_pass_rate"] == 0.0
+    assert keyword["collateral_block_rate"] > 0.0
+    # Reputation moderation lets a few spams through (detection lag) but
+    # blocks no legitimate speech.
+    assert 0.0 < reputation["spam_pass_rate"] < 0.2
+    assert reputation["collateral_block_rate"] == 0.0
+    # Federation-wide reachability: content blocked on strict instances
+    # remains reachable on lax ones (no global censorship).
+    assert federated["spam_pass_rate"] == 1.0

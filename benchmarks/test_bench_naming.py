@@ -1,0 +1,71 @@
+"""E6 — blockchain naming vs centralized PKI (§3.1).
+
+The paper: "blockchains essentially trade scalability and performance for
+global consensus and security", and the 51% attack is the residual threat.
+Three artifacts:
+
+* registration latency (PKI one RTT; blockchain confirmations x interval);
+* the analytic rewrite-probability curve with its 0.5 crossover;
+* one empirical majority-attack run that actually steals a name.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import (
+    naming_attack_curve,
+    render_table,
+    run_name_theft,
+    run_naming_comparison,
+)
+
+
+def test_bench_naming_latency(benchmark):
+    rows = benchmark.pedantic(
+        run_naming_comparison, kwargs={"seed": 2}, rounds=1, iterations=1
+    )
+    emit("E6a — registration latency by backend", render_table(rows))
+    pki = next(r for r in rows if r["backend"] == "centralized_pki")
+    chain6 = next(
+        r for r in rows
+        if r["backend"] == "blockchain" and r["confirmations"] == 6
+    )
+    chain1 = next(
+        r for r in rows
+        if r["backend"] == "blockchain" and r["confirmations"] == 1
+    )
+    # The PKI answers in well under a second; the chain needs tens of
+    # seconds even at a 10s block interval — orders of magnitude apart.
+    assert pki["registration_latency_s"] < 1.0
+    assert chain6["registration_latency_s"] > 30 * pki["registration_latency_s"]
+    # Latency grows with confirmation depth.
+    assert chain6["registration_latency_s"] > chain1["registration_latency_s"]
+
+
+def test_bench_naming_attack_curve(benchmark):
+    rows = benchmark(naming_attack_curve)
+    emit("E6b — history-rewrite probability vs attacker hashrate share",
+         render_table(rows))
+    by_share = {row["attacker_share"]: row["rewrite_probability"] for row in rows}
+    # Monotone increasing in attacker share.
+    shares = sorted(by_share)
+    assert all(
+        by_share[a] <= by_share[b] for a, b in zip(shares, shares[1:])
+    )
+    # Minority attackers rarely win; the crossover is at 1/2.
+    assert by_share[0.1] < 0.001
+    assert by_share[0.5] == 1.0
+    assert by_share[0.7] == 1.0
+    assert by_share[0.45] < 1.0
+
+
+def test_bench_name_theft_empirical(benchmark):
+    result = benchmark.pedantic(
+        run_name_theft, kwargs={"seed": 9, "attacker_share": 0.75},
+        rounds=1, iterations=1,
+    )
+    emit("E6c — empirical majority attack (75% hashrate)",
+         render_table([result]))
+    assert result["succeeded"]
+    assert result["victim_tx_erased"]
+    assert result["name_owner_is_attacker"]

@@ -1,0 +1,136 @@
+"""E9 — infrastructure quality vs quantity (§5.2).
+
+Table 3 says device capacity is sufficient in aggregate; §5.2 warns the
+quality is far poorer.  The bench runs the same replicated-storage
+workload on datacenter-grade and device-grade churn and reports the
+replication factor and repair traffic each needs.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_quality_vs_quantity
+
+
+def test_bench_quality_vs_quantity(benchmark):
+    rows = benchmark.pedantic(
+        run_quality_vs_quantity,
+        kwargs={"seed": 2, "replication_factors": (1, 2, 3, 4),
+                "n_probes": 30},
+        rounds=1, iterations=1,
+    )
+    emit("E9 — retrieval availability and repair traffic by infrastructure"
+         " grade", render_table(rows))
+    table = {
+        (row["infrastructure"], row["replication_factor"]): row
+        for row in rows
+    }
+    # Datacenter-grade: available at R=1 with zero repair traffic.
+    assert table[("datacenter", 1)]["retrieval_availability"] == 1.0
+    assert table[("datacenter", 1)]["repair_bytes"] == 0
+    # Device-grade at R=1 loses availability...
+    assert table[("device", 1)]["retrieval_availability"] < 1.0
+    # ...recovers it with enough replication...
+    assert table[("device", 3)]["retrieval_availability"] >= 0.95
+    # ...and pays continuously for repair, increasing with R.
+    assert table[("device", 3)]["repair_bytes"] > 0
+    assert (
+        table[("device", 4)]["repair_bytes"]
+        >= table[("device", 2)]["repair_bytes"]
+    )
+    # Datacenter-grade never pays meaningful repair traffic at any R.
+    for factor in (1, 2, 3, 4):
+        assert (
+            table[("datacenter", factor)]["repair_bytes"]
+            <= table[("device", 3)]["repair_bytes"]
+        )
+
+
+def test_bench_erasure_vs_replication_under_churn(benchmark):
+    """E9 extension: the same durability problem solved two ways.
+
+    Replication (R=3) vs Reed-Solomon (4, 2) on identical device-grade
+    churn: erasure stores half the bytes for the same 2-failure
+    tolerance, at the cost of decode-based repair.
+    """
+    from repro.net import ChurnProfile, ConstantLatency, Network, attach_churn
+    from repro.sim import RngStreams, Simulator
+    from repro.storage import (
+        ErasureBlobStore,
+        ReplicatedBlobStore,
+        StorageProvider,
+        make_random_blob,
+    )
+
+    def compare():
+        profile = ChurnProfile(mean_uptime=400.0, mean_downtime=200.0)
+        rows = []
+        for scheme in ("replication_r3", "erasure_4_2"):
+            sim = Simulator()
+            streams = RngStreams(17)
+            network = Network(sim, streams, latency=ConstantLatency(0.01))
+            providers = [StorageProvider(network, f"p{i}") for i in range(12)]
+            attach_churn(sim, streams, [p.node for p in providers], profile)
+            blob = make_random_blob(streams, 8 * 1024, chunk_size=1024)
+            outcome = {"ok": 0, "attempts": 0}
+
+            if scheme == "replication_r3":
+                store = ReplicatedBlobStore(
+                    network, providers, streams,
+                    replication_factor=3, check_interval=30.0,
+                )
+
+                def scenario():
+                    yield from store.store(blob)
+                    store.start_repair()
+                    for _ in range(15):
+                        yield 150.0
+                        outcome["attempts"] += 1
+                        try:
+                            yield from store.retrieve(blob.merkle_root)
+                            outcome["ok"] += 1
+                        except Exception:
+                            pass
+                    store.stop_repair()
+
+                sim.run_process(scenario(), until=20_000.0)
+                stored = 3 * blob.size_bytes
+                repair = store.repair_bytes()
+            else:
+                store = ErasureBlobStore(
+                    network, providers, streams, k=4, m=2, check_interval=30.0,
+                )
+
+                def scenario():
+                    yield from store.store(blob.to_bytes(), "doc")
+                    store.start_repair()
+                    for _ in range(15):
+                        yield 150.0
+                        outcome["attempts"] += 1
+                        try:
+                            yield from store.retrieve("doc")
+                            outcome["ok"] += 1
+                        except Exception:
+                            pass
+                    store.stop_repair()
+
+                sim.run_process(scenario(), until=20_000.0)
+                stored = store.stored_bytes("doc")
+                repair = store.repair_bytes()
+
+            rows.append({
+                "scheme": scheme,
+                "stored_bytes": stored,
+                "availability": round(outcome["ok"] / outcome["attempts"], 3),
+                "repair_bytes": repair,
+            })
+        return rows
+
+    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    emit("E9 extension — replication vs erasure coding on device churn",
+         render_table(rows))
+    replication = next(r for r in rows if r["scheme"] == "replication_r3")
+    erasure = next(r for r in rows if r["scheme"] == "erasure_4_2")
+    # Same 2-failure tolerance at roughly half the stored bytes.
+    assert erasure["stored_bytes"] < 0.6 * replication["stored_bytes"]
+    # Both keep the blob usable on this churn.
+    assert replication["availability"] >= 0.85
+    assert erasure["availability"] >= 0.85

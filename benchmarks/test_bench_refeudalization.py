@@ -1,0 +1,68 @@
+"""Extension bench — the re-emergence of feudalism (§5.3).
+
+The paper's hardest problem: "centralization is frequently driven by
+economies of scale... this may not be an entirely technical problem."
+The bench runs the provider-market dynamic with and without scale
+economies and reports concentration (HHI, survivor count, top share) —
+the measurable version of the backsliding the paper warns about.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.core.economics import MarketParams, ProviderMarket, herfindahl_index
+from repro.sim import RngStreams
+
+
+def test_bench_refeudalization(benchmark):
+    def sweep():
+        rows = []
+        for scale_advantage in (0.0, 0.1, 0.25):
+            market = ProviderMarket(
+                20, MarketParams(scale_advantage=scale_advantage), RngStreams(1)
+            )
+            history = market.run(300)
+            final = history[-1]
+            rows.append(
+                {
+                    "scale_advantage": scale_advantage,
+                    "providers_surviving": final["providers_alive"],
+                    "hhi": round(final["hhi"], 3),
+                    "top_provider_share": round(final["top_share"], 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Re-feudalization — market concentration vs scale economies"
+         " (20 providers, 300 rounds)", render_table(rows))
+    by_advantage = {row["scale_advantage"]: row for row in rows}
+    flat = by_advantage[0.0]
+    strong = by_advantage[0.25]
+    # Flat costs: the democratized market is stable.
+    assert flat["providers_surviving"] == 20
+    assert flat["hhi"] < 0.06  # ~1/20
+    # Scale economies: most providers die and concentration multiplies.
+    assert strong["providers_surviving"] <= flat["providers_surviving"] // 2
+    assert strong["hhi"] > 3 * flat["hhi"]
+
+
+def test_bench_refeudalization_time_course(benchmark):
+    """The concentration trajectory: gradual, then sudden — lock-in."""
+
+    def trajectory():
+        market = ProviderMarket(
+            20, MarketParams(scale_advantage=0.25), RngStreams(2)
+        )
+        history = market.run(300)
+        return [history[i] for i in (9, 49, 99, 199, 299)]
+
+    samples = benchmark.pedantic(trajectory, rounds=1, iterations=1)
+    emit("Re-feudalization — concentration over time (scale_advantage=0.25)",
+         render_table([
+             {"round": s["round"], "alive": s["providers_alive"],
+              "hhi": round(s["hhi"], 3)}
+             for s in samples
+         ]))
+    hhis = [s["hhi"] for s in samples]
+    assert hhis[-1] >= hhis[0]
+    assert samples[-1]["providers_alive"] < samples[0]["providers_alive"]

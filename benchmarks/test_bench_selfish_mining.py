@@ -1,0 +1,47 @@
+"""Extension bench — selfish mining profitability (§5.1).
+
+The paper's easy-problem list asks for real security analysis of
+blockchain systems; the canonical example beyond the 51% attack is
+Eyal-Sirer selfish mining.  The bench sweeps attacker hashrate and
+reproduces the known profitability thresholds (1/3 at gamma=0, 0 at
+gamma=1).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.chain import selfish_mining_revenue
+
+ALPHAS = (0.10, 0.20, 0.30, 0.35, 0.40, 0.45)
+
+
+def test_bench_selfish_mining_thresholds(benchmark):
+    def sweep():
+        rows = []
+        for alpha in ALPHAS:
+            row = {"alpha": alpha}
+            for gamma in (0.0, 0.5, 1.0):
+                revenue = selfish_mining_revenue(
+                    alpha, gamma=gamma, blocks=300_000, seed=5
+                )
+                row[f"revenue(gamma={gamma})"] = round(revenue, 4)
+            row["honest_revenue"] = alpha
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Selfish mining — revenue share vs hashrate share", render_table(rows))
+    by_alpha = {row["alpha"]: row for row in rows}
+    # gamma=0: profitable strictly above 1/3.
+    assert by_alpha[0.30]["revenue(gamma=0.0)"] < 0.30
+    assert by_alpha[0.35]["revenue(gamma=0.0)"] > 0.35
+    # gamma=1: profitable everywhere.
+    for alpha in ALPHAS:
+        assert by_alpha[alpha]["revenue(gamma=1.0)"] > alpha
+    # Revenue monotone in gamma at fixed alpha.
+    for alpha in ALPHAS:
+        row = by_alpha[alpha]
+        assert (
+            row["revenue(gamma=0.0)"]
+            <= row["revenue(gamma=0.5)"]
+            <= row["revenue(gamma=1.0)"]
+        )

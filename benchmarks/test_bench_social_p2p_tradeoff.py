@@ -1,0 +1,72 @@
+"""E5 — the privacy/availability trade across communication models (§3.2).
+
+The paper: socially-aware P2P systems buy privacy "at a price of reduced
+availability since nodes accept connections only from socially-trusted
+peers"; centralized platforms are the reverse; Matrix's E2E encryption
+still "reveal[s] the identities of the participants" to servers.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_social_tradeoff
+
+
+def test_bench_social_tradeoff(benchmark):
+    rows = benchmark.pedantic(
+        run_social_tradeoff, kwargs={"seed": 3}, rounds=1, iterations=1
+    )
+    emit("E5 — availability vs operator exposure", render_table(rows))
+    by_system = {row["system"]: row for row in rows}
+
+    central = by_system["centralized"]
+    p2p = by_system["socially_aware_p2p"]
+    e2e = by_system["federated_replicated_e2e"]
+
+    # Centralized: best availability, total exposure.
+    assert central["availability"] >= p2p["availability"]
+    assert central["operator_exposure"] == 1.0
+    # Socially-aware P2P: zero operator exposure, the availability cost.
+    assert p2p["operator_exposure"] == 0.0
+    assert p2p["availability"] <= central["availability"]
+    # E2E federation sits strictly between: metadata still leaks.
+    assert 0.0 < e2e["operator_exposure"] < 1.0
+    # The exposure ordering the paper describes.
+    assert (
+        central["operator_exposure"]
+        >= e2e["operator_exposure"]
+        > p2p["operator_exposure"]
+    )
+
+
+def test_bench_social_tradeoff_churn_sweep(benchmark):
+    from repro.net import ChurnProfile
+
+    def churn_sweep():
+        out = []
+        for label, downtime in (("mild", 50.0), ("heavy", 400.0)):
+            rows = run_social_tradeoff(
+                seed=5,
+                device_profile=ChurnProfile(
+                    mean_uptime=400.0, mean_downtime=downtime
+                ),
+            )
+            for row in rows:
+                row["churn"] = label
+                out.append(row)
+        return out
+
+    rows = benchmark.pedantic(churn_sweep, rounds=1, iterations=1)
+    emit("E5 — availability under mild vs heavy device churn",
+         render_table(rows, columns=["churn", "system", "availability",
+                                     "operator_exposure"]))
+    p2p = {
+        row["churn"]: row["availability"]
+        for row in rows if row["system"] == "socially_aware_p2p"
+    }
+    central = {
+        row["churn"]: row["availability"]
+        for row in rows if row["system"] == "centralized"
+    }
+    # Heavier device churn hurts the P2P design more than the
+    # server-backed one (which only needs the reader online).
+    assert p2p["heavy"] <= p2p["mild"]
+    assert central["heavy"] >= p2p["heavy"]

@@ -1,0 +1,92 @@
+"""E7 — do storage-proof incentives defeat the §3.3 attacks?
+
+The paper: proofs of storage/retrievability/replication/spacetime exist
+to make Sybil, outsourcing, and generation attacks unprofitable.  The
+bench runs each attacker against its matched audit and reports earnings:
+without audits cheating pays in full; with them, detection slashes the
+deal.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_proof_economics
+
+
+def test_bench_proof_economics(benchmark):
+    rows = benchmark.pedantic(
+        run_proof_economics, kwargs={"seed": 4, "epochs": 10},
+        rounds=1, iterations=1,
+    )
+    emit("E7 — provider earnings by behaviour and audit scheme",
+         render_table(rows))
+    by_key = {(row["behaviour"], row["audit"]): row for row in rows}
+
+    honest = by_key[("honest", "proof_of_storage")]
+    unaudited = by_key[("drop_half_no_audits", "none")]
+    audited_drop = by_key[("drop_half", "proof_of_storage")]
+    por_drop = by_key[("drop_half", "proof_of_retrievability")]
+    dedup = by_key[("dedup_sybil", "proof_of_replication")]
+    outsourced = by_key[("outsourcing_far", "proof_of_retrievability")]
+
+    # Honest work is paid in full.
+    assert honest["epochs_paid"] == 10 and not honest["slashed"]
+    # No audits: dropping half the data still pays in full — the reason
+    # incentive proofs exist at all.
+    assert unaudited["epochs_paid"] == 10 and not unaudited["slashed"]
+    # Single-challenge audits catch a 50% dropper within a few epochs.
+    assert audited_drop["slashed"]
+    assert audited_drop["epochs_paid"] < 10
+    # Multi-sample retrievability audits catch it faster (or as fast).
+    assert por_drop["epochs_paid"] <= audited_drop["epochs_paid"]
+    # Replication proofs detect the dedup/Sybil cheat.
+    assert dedup["slashed"] and dedup["epochs_paid"] == 0
+    # Distant outsourcing busts the response deadline.
+    assert outsourced["slashed"]
+    # The economics: every audited cheater earns strictly less than honest.
+    for row in (audited_drop, por_drop, dedup, outsourced):
+        assert row["earnings"] < honest["earnings"]
+
+
+def test_bench_detection_probability_vs_drop_fraction(benchmark):
+    """Soundness ablation: per-challenge failure probability ~ dropped
+    fraction, so multi-round detection is exponential."""
+    from repro.net import ConstantLatency, Network
+    from repro.sim import RngStreams, Simulator
+    from repro.storage import Commitment, StorageProvider, StorageVerifier, make_random_blob
+
+    def detection_curve():
+        rows = []
+        for fraction in (0.1, 0.25, 0.5, 0.75):
+            sim = Simulator()
+            streams = RngStreams(13)
+            network = Network(sim, streams, latency=ConstantLatency(0.01))
+            verifier = StorageVerifier(network, "auditor", streams)
+            provider = StorageProvider(network, "prov")
+            blob = make_random_blob(streams, 200 * 512, chunk_size=512)
+            provider.accept_blob(blob)
+            provider.drop_chunks(blob.merkle_root, fraction, streams.stream("d"))
+            commitment = Commitment(blob.merkle_root, len(blob.chunks))
+
+            def scenario():
+                failures = 0
+                for _ in range(200):
+                    outcome = yield from verifier.challenge_once("prov", commitment)
+                    if not outcome.ok:
+                        failures += 1
+                return failures
+
+            failures = sim.run_process(scenario())
+            rows.append(
+                {"dropped_fraction": fraction,
+                 "challenge_failure_rate": failures / 200}
+            )
+        return rows
+
+    rows = benchmark.pedantic(detection_curve, rounds=1, iterations=1)
+    emit("E7 ablation — challenge failure rate vs dropped fraction",
+         render_table(rows))
+    for row in rows:
+        assert row["challenge_failure_rate"] == pytest.approx(
+            row["dropped_fraction"], abs=0.12
+        )

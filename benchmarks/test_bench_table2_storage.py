@@ -1,0 +1,64 @@
+"""E2 — regenerate Table 2 (storage systems: blockchain usage x incentive).
+
+Before printing each row, the bench *runs* the profile's mechanism: a
+deal is made under the profile's proof kind, one audit epoch executes,
+and an honest provider gets paid — so the table reflects mechanisms that
+demonstrably work in this library, not transcription.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.net import ConstantLatency, Network
+from repro.sim import RngStreams, Simulator
+from repro.storage import (
+    DealState,
+    ProofKind,
+    StorageMarketplace,
+    StorageProvider,
+    TABLE2_SYSTEMS,
+    make_random_blob,
+    table2_rows,
+)
+
+
+def _run_profile_mechanisms():
+    results = {}
+    for profile in TABLE2_SYSTEMS:
+        sim = Simulator()
+        streams = RngStreams(42)
+        network = Network(sim, streams, latency=ConstantLatency(0.01))
+        market = StorageMarketplace(network, streams)
+        provider = StorageProvider(network, "provider")
+        market.register_provider(provider)
+        network.create_node("consumer")
+        market.ledger.credit("consumer", 100.0)
+        blob = make_random_blob(streams, 8 * 1024, chunk_size=1024)
+
+        def scenario():
+            deal = yield from market.make_deal(
+                "consumer", blob, epochs=1,
+                proof_kind=profile.proof_kind, price_per_epoch=1.0,
+            )
+            yield from market.run_epoch()
+            return deal
+
+        deal = sim.run_process(scenario())
+        results[profile.name] = deal
+    return results
+
+
+def test_bench_table2(benchmark):
+    results = benchmark(_run_profile_mechanisms)
+    emit("Table 2 — Comparison of surveyed storage systems",
+         render_table(table2_rows()))
+    # Every profile's mechanism ran and the honest provider was paid.
+    assert len(results) == 7
+    for name, deal in results.items():
+        assert deal.state == DealState.COMPLETED, name
+        assert deal.epochs_paid == 1, name
+    # Paper facts encoded in the table: only IPFS and MaidSafe avoid
+    # blockchains entirely; Filecoin uses replication proofs.
+    rows = {r["system"]: r for r in table2_rows()}
+    non_chain = [s for s, r in rows.items() if r["blockchain_usage"] == "None"]
+    assert sorted(non_chain) == ["IPFS", "MaidSafe"]
+    assert "Proof-of-replication" in rows["Filecoin"]["incentive_scheme"]

@@ -1,0 +1,85 @@
+"""E3 — regenerate Table 3 (cloud vs user-device capacity), exactly.
+
+This is the paper's only quantitative artifact; the bench must reproduce
+every formatted cell, the 'sufficient capacity' verdict, and the
+sensitivity behaviour around the thin compute margin.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_feasibility
+from repro.core import paper_model
+from repro.core.units import MBPS
+
+
+def test_bench_table3(benchmark):
+    result = benchmark(run_feasibility)
+    emit("Table 3 — Estimated capacity of global cloud infrastructure and"
+         " unused user resources", render_table(result["table3"]))
+    assert result["table3"] == [
+        {"resource": "Bandwidth", "cloud": "200 Tbps", "devices": "5000 Tbps"},
+        {"resource": "Cores", "cloud": "400 M", "devices": "500 M"},
+        {"resource": "Storage", "cloud": "80 EB", "devices": "210 EB"},
+    ]
+    # "Roughly speaking, there appears to be sufficient capacity."
+    assert all(result["sufficient"].values())
+    # Margins: bandwidth 25x, storage ~2.6x, compute only 1.25x.
+    assert result["ratios"]["bandwidth"] == 25.0
+    assert 2.5 < result["ratios"]["storage"] < 2.7
+    assert 1.2 < result["ratios"]["cores"] < 1.3
+
+
+def test_bench_table3_sensitivity(benchmark):
+    model = paper_model()
+
+    def sensitivity():
+        return {
+            "upstream": model.sweep(
+                lambda v: model.with_upstream_bps(v * MBPS),
+                [0.1, 0.5, 1.0, 10.0],
+            ),
+            "core_discount": model.sweep(
+                model.with_core_discount, [4.0, 8.0, 10.0, 16.0]
+            ),
+        }
+
+    result = benchmark(sensitivity)
+    emit("Table 3 sensitivity — device/cloud ratio vs upstream Mbps",
+         render_table([
+             {"upstream_mbps": row["value"],
+              "bandwidth_ratio": round(row["bandwidth"], 2)}
+             for row in result["upstream"]
+         ]))
+    emit("Table 3 sensitivity — compute ratio vs core discount",
+         render_table([
+             {"core_discount": row["value"],
+              "cores_ratio": round(row["cores"], 3)}
+             for row in result["core_discount"]
+         ]))
+    # Bandwidth sufficiency survives down to 0.1 Mbps upstream (2.5x).
+    assert result["upstream"][0]["bandwidth"] == 2.5
+    # Compute crosses below parity exactly past the breakeven discount 10.
+    ratios = {row["value"]: row["cores"] for row in result["core_discount"]}
+    assert ratios[8.0] > 1.0 > ratios[16.0]
+    assert abs(ratios[10.0] - 1.0) < 1e-9
+
+
+def test_bench_table3_demand_extension(benchmark):
+    """Demand-side extension: what could the device fleet actually host?
+
+    Table 3 is a supply comparison; this bench asks the question it
+    implies — per service, does the idle fleet cover the Internet's user
+    base once decentralization overheads (E9's replication, overlay
+    stretch) are paid?
+    """
+    from repro.core import demand_table
+
+    rows = benchmark(demand_table)
+    emit("Table 3 extension — serveable users per service (device fleet,"
+         " with decentralization overheads)", render_table(rows))
+    by_service = {row["service"]: row for row in rows}
+    # The fleet hosts everyone's email, photos, feeds, and sites...
+    for covered in ("email", "social_feed", "photo_sharing", "web_hosting"):
+        assert by_service[covered]["covers_internet"] is True
+    # ...but global video streaming breaks on 1 Mbps uplinks.
+    assert by_service["video_streaming"]["covers_internet"] is False
+    assert by_service["video_streaming"]["binding_resource"] == "bandwidth"

@@ -1,0 +1,56 @@
+"""Extension benches — two §3 weaknesses the paper names, measured.
+
+* the Usenet collapse (§3.2): full-feed federation cost per node grows
+  linearly with community size, while centralized users pay ~flat cost;
+* the endless ledger problem (§3.1): the chain grows forever even though
+  the live name set plateaus (expiry reclaims names, never history).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.analysis.experiments import run_endless_ledger, run_usenet_collapse
+
+
+def test_bench_usenet_collapse(benchmark):
+    rows = benchmark.pedantic(
+        run_usenet_collapse,
+        kwargs={"seed": 3, "community_sizes": (10, 20, 40, 80)},
+        rounds=1, iterations=1,
+    )
+    emit("Usenet collapse — per-node cost of full-feed federation",
+         render_table(rows))
+    first, last = rows[0], rows[-1]
+    growth = last["community_size"] / first["community_size"]  # 8x
+    # Federated per-node load scales ~linearly with the community.
+    federated_growth = (
+        last["per_node_bytes_federated"] / first["per_node_bytes_federated"]
+    )
+    assert federated_growth > 0.6 * growth
+    # Centralized per-user load grows far slower (selective fetch).
+    user_growth = (
+        last["per_user_bytes_centralized"] / first["per_user_bytes_centralized"]
+    )
+    assert user_growth < federated_growth / 1.5
+    # The linear load lands on the provider instead — §2.1's performance
+    # rationale for centralization.
+    assert last["server_bytes_centralized"] > first["server_bytes_centralized"]
+
+
+def test_bench_endless_ledger(benchmark):
+    rows = benchmark.pedantic(
+        run_endless_ledger, kwargs={"seed": 3}, rounds=1, iterations=1
+    )
+    emit("Endless ledger — chain size vs live names over time",
+         render_table(rows))
+    chain_sizes = [row["chain_bytes"] for row in rows]
+    live_names = [row["live_names"] for row in rows]
+    registrations = [row["total_registrations"] for row in rows]
+    # History grows strictly monotonically...
+    assert all(a < b for a, b in zip(chain_sizes, chain_sizes[1:]))
+    assert registrations[-1] > 3 * registrations[0]
+    # ...while the useful state (live names) plateaus under expiry.
+    assert max(live_names) < registrations[0] * 2
+    # Storage-per-live-name diverges: the endless-ledger problem.
+    early = chain_sizes[0] / max(1, live_names[0])
+    late = chain_sizes[-1] / max(1, live_names[-1])
+    assert late > 2 * early

@@ -1,0 +1,53 @@
+"""E8 — visitor-seeded web application availability (§3.4).
+
+ZeroNet-style sites are "seeded and served by visitors"; the bench sweeps
+popularity (offered load = arrival rate x seed retention) and shows the
+swarm self-sustains only above a popularity threshold — unpopular hostless
+sites die when their author leaves.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, run_swarm_availability
+
+
+def test_bench_swarm_availability(benchmark):
+    rows = benchmark.pedantic(
+        run_swarm_availability,
+        kwargs={"seed": 6, "offered_loads": (0.1, 0.5, 1.0, 2.0, 8.0, 32.0)},
+        rounds=1, iterations=1,
+    )
+    emit("E8 — site availability vs offered load (arrivals x seed time)",
+         render_table(rows))
+    by_load = {row["offered_load"]: row["availability"] for row in rows}
+    # Dead zone below load ~1, saturation at high load.
+    assert by_load[0.1] < 0.2
+    assert by_load[32.0] > 0.95
+    # Roughly monotone: higher popularity never hurts (small noise slack).
+    loads = sorted(by_load)
+    for a, b in zip(loads, loads[1:]):
+        assert by_load[b] >= by_load[a] - 0.05
+
+
+def test_bench_swarm_author_departure(benchmark):
+    """Ablation: the author's presence is what keeps unpopular sites up."""
+
+    def compare_author_tenure():
+        rows = []
+        for leaves_at, label in ((30.0, "early"), (2800.0, "stays")):
+            result = run_swarm_availability(
+                seed=8, offered_loads=(0.5,), author_leaves_at=leaves_at,
+            )[0]
+            rows.append(
+                {"author": label, "offered_load": 0.5,
+                 "availability": result["availability"]}
+            )
+        return rows
+
+    rows = benchmark.pedantic(compare_author_tenure, rounds=1, iterations=1)
+    emit("E8 ablation — unpopular site, author leaves early vs stays",
+         render_table(rows))
+    by_author = {row["author"]: row["availability"] for row in rows}
+    # An always-on author is exactly the centralized crutch: availability
+    # jumps from near-dead to near-perfect.
+    assert by_author["stays"] > 0.9
+    assert by_author["early"] < 0.3

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Feasibility study: §4 of the paper, with sensitivity analysis.
+
+Reproduces Table 3 from the published assumptions, then asks the question
+the paper's "roughly speaking" hedge invites: *how robust is the
+sufficient-capacity conclusion?*  Sweeps the core-discount factor, the
+device upstream bandwidth, and the fleet size.
+
+Run:  python examples/feasibility_study.py
+"""
+
+from repro.analysis import render_kv, render_table
+from repro.core import paper_model
+from repro.core.units import MBPS
+
+
+def main() -> None:
+    model = paper_model()
+
+    print("Table 3 — as published")
+    print(render_table(model.table3()))
+
+    ratios = model.device_capacity().ratio_to(model.cloud_capacity())
+    print(render_kv(
+        {k: f"{v:.2f}x" for k, v in ratios.items()},
+        title="\nDevice/cloud supply ratios",
+    ))
+
+    print("\nWhere the conclusion is fragile")
+    print("-" * 31)
+    print(f"compute breakeven core-discount: "
+          f"{model.breakeven_core_discount():.0f} "
+          f"(paper assumes 8; at >10 devices fall short)")
+
+    print("\nSweep: server-equivalence discount on PC cores")
+    rows = model.sweep(model.with_core_discount, [4, 8, 10, 12, 16])
+    print(render_table([
+        {"core_discount": r["value"],
+         "cores_ratio": f"{r['cores']:.2f}",
+         "sufficient": r["cores"] >= 1.0}
+        for r in rows
+    ]))
+
+    print("\nSweep: usable upstream per device (paper assumes 1 Mbps)")
+    rows = model.sweep(
+        lambda v: model.with_upstream_bps(v * MBPS), [0.05, 0.1, 0.5, 1.0, 10.0]
+    )
+    print(render_table([
+        {"upstream_mbps": r["value"],
+         "bandwidth_ratio": f"{r['bandwidth']:.2f}",
+         "sufficient": r["bandwidth"] >= 1.0}
+        for r in rows
+    ]))
+
+    print("\nSweep: fleet participation (what if only a fraction join?)")
+    rows = model.sweep(model.with_populations_scaled, [1.0, 0.5, 0.25, 0.1])
+    print(render_table([
+        {"participating_fraction": r["value"],
+         "bandwidth_ratio": f"{r['bandwidth']:.2f}",
+         "cores_ratio": f"{r['cores']:.2f}",
+         "storage_ratio": f"{r['storage']:.2f}"}
+        for r in rows
+    ]))
+
+    print("\nDemand-side extension: what could the fleet host?")
+    from repro.core import demand_table
+    print(render_table(demand_table()))
+
+    print(
+        "\nReading: bandwidth has a 25x margin and survives tiny uplinks or"
+        "\n10% participation; storage has ~2.6x; compute is the thin margin —"
+        "\nthe 500M-vs-400M core comparison flips with a modestly more"
+        "\npessimistic server-equivalence discount or participation rate."
+        "\nThat asymmetry is the quantified version of §5.2's quality-vs-"
+        "\nquantity problem."
+    )
+
+
+if __name__ == "__main__":
+    main()

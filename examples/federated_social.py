@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Federated social networking (§3.2): three designs on one workload.
+
+Builds the same 12-user community as (a) a centralized platform, (b) an
+OStatus-style single-home federation, and (c) a Matrix-style replicated
+federation with end-to-end encryption — then kills a server and audits
+who can still read, and what each operator learned.
+
+Run:  python examples/federated_social.py
+"""
+
+from repro.analysis import render_table
+from repro.groupcomm import (
+    CentralizedPlatform,
+    RatchetSession,
+    ReplicatedFederation,
+    SingleHomeFederation,
+    audit_centralized,
+    audit_replicated_federation,
+    exposure_score,
+)
+from repro.net import ConstantLatency, Network
+from repro.sim import RngStreams, Simulator
+
+USERS = [f"user{i}" for i in range(12)]
+SERVERS = ["srv.alpha", "srv.beta", "srv.gamma"]
+
+
+def centralized_run():
+    sim = Simulator()
+    network = Network(sim, RngStreams(1), latency=ConstantLatency(0.02))
+    platform = CentralizedPlatform(network)
+    for user in USERS:
+        network.create_node(user)
+    platform.create_room("town-square", USERS)
+
+    def scenario():
+        for i, user in enumerate(USERS[:6]):
+            yield from platform.post(user, "town-square", f"hot take #{i}")
+        # The operator bans a user mid-conversation.
+        platform.ban("user0")
+        try:
+            yield from platform.fetch("user0", "town-square")
+            banned_locked_out = False
+        except Exception:
+            banned_locked_out = True
+        readers = 0
+        for user in USERS[1:]:
+            messages = yield from platform.fetch(user, "town-square")
+            readers += bool(messages)
+        return banned_locked_out, readers
+
+    banned_locked_out, readers = sim.run_process(scenario())
+    report = audit_centralized(platform, "town-square")
+    return {
+        "design": "centralized",
+        "readers_after_incident": f"{readers}/11",
+        "banned_user_locked_out": banned_locked_out,
+        "operator_exposure": f"{exposure_score(report):.2f}",
+    }
+
+
+def single_home_run():
+    sim = Simulator()
+    streams = RngStreams(2)
+    network = Network(sim, streams, latency=ConstantLatency(0.02))
+    federation = SingleHomeFederation(network, SERVERS)
+    for i, user in enumerate(USERS):
+        federation.add_user(user, home=SERVERS[i % len(SERVERS)])
+    federation.create_room("town-square", USERS)
+
+    def scenario():
+        for i, user in enumerate(USERS[:6]):
+            yield from federation.post(user, "town-square", f"hot take #{i}")
+        yield 10.0  # let pushes land
+        network.node("srv.alpha").set_online(False, sim.now)  # instance dies
+        readers = 0
+        for user in USERS:
+            try:
+                messages = yield from federation.fetch(user, "town-square")
+                readers += bool(messages)
+            except Exception:
+                pass
+        return readers
+
+    readers = sim.run_process(scenario())
+    return {
+        "design": "federated single-home (OStatus)",
+        "readers_after_incident": f"{readers}/12",
+        "banned_user_locked_out": "n/a (no global operator)",
+        "operator_exposure": "1.00 (each home sees its copy)",
+    }
+
+
+def replicated_run():
+    sim = Simulator()
+    streams = RngStreams(3)
+    network = Network(sim, streams, latency=ConstantLatency(0.02))
+    federation = ReplicatedFederation(
+        network, SERVERS, streams, gossip_interval=2.0, allow_failover=True
+    )
+    for i, user in enumerate(USERS):
+        federation.add_user(user, home=SERVERS[i % len(SERVERS)])
+    federation.create_room("town-square", USERS)
+    federation.start_replication()
+
+    # End-to-end encryption: the room shares a ratchet session.
+    room_session = RatchetSession("town-square-shared-secret")
+
+    def scenario():
+        for i, user in enumerate(USERS[:6]):
+            ciphertext = room_session.encrypt(f"hot take #{i}")
+            yield from federation.post(
+                user, "town-square", ciphertext.sealed, encrypted=True
+            )
+        yield 60.0  # replication converges
+        network.node("srv.alpha").set_online(False, sim.now)
+        readers = 0
+        for user in USERS:
+            try:
+                messages = yield from federation.fetch(user, "town-square")
+                readers += bool(messages)
+            except Exception:
+                pass
+        federation.stop_replication()
+        return readers
+
+    readers = sim.run_process(scenario(), until=50_000.0)
+    report = audit_replicated_federation(federation, "town-square")
+    return {
+        "design": "federated replicated + E2E (Matrix)",
+        "readers_after_incident": f"{readers}/12",
+        "banned_user_locked_out": "n/a (no global operator)",
+        "operator_exposure": f"{exposure_score(report):.2f} (metadata only)",
+    }
+
+
+def main() -> None:
+    rows = [centralized_run(), single_home_run(), replicated_run()]
+    print(render_table(rows))
+    print(
+        "\nReading: the centralized platform keeps everyone connected but"
+        "\nsees everything and can ban anyone; the single-home federation"
+        "\nloses a third of its users when one instance dies; the"
+        "\nreplicated+E2E federation keeps everyone reading after the same"
+        "\nfailure while its operators see only metadata — §3.2's landscape"
+        "\nin one table."
+    )
+
+
+if __name__ == "__main__":
+    main()

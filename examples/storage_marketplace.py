@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""The decentralized storage marketplace (§3.3 / Table 2) end to end.
+
+A consumer stores a file with three providers: an honest one, one that
+quietly drops half the data, and one running the Filecoin-style
+Sybil/dedup cheat (claiming two sealed replicas while storing one).  Ten
+audit epochs later the earnings table shows why the proof systems exist.
+
+Run:  python examples/storage_marketplace.py
+"""
+
+from repro.analysis import render_table
+from repro.net import ConstantLatency, Network
+from repro.sim import RngStreams, Simulator
+from repro.storage import (
+    Commitment,
+    ProofKind,
+    StorageDeal,
+    StorageMarketplace,
+    StorageProvider,
+    make_random_blob,
+    seal_blob,
+)
+
+EPOCHS = 10
+
+
+def main() -> None:
+    sim = Simulator()
+    streams = RngStreams(11)
+    network = Network(sim, streams, latency=ConstantLatency(0.01))
+    market = StorageMarketplace(network, streams, response_deadline=0.3)
+
+    honest = StorageProvider(network, "honest-provider")
+    dropper = StorageProvider(network, "dropping-provider")
+    sybil = StorageProvider(network, "sybil-provider", seal_time=1.0)
+    for provider in (honest, dropper, sybil):
+        market.register_provider(provider)
+    network.create_node("consumer")
+    market.ledger.credit("consumer", 1000.0)
+
+    blob = make_random_blob(streams, 64 * 1024, chunk_size=1024)
+    print(f"consumer stores a {blob.size_bytes // 1024} KiB blob"
+          f" ({len(blob.chunks)} chunks, merkle root"
+          f" {blob.merkle_root[:16]}...)\n")
+
+    def scenario():
+        deals = {}
+        deals["honest"] = yield from market.make_deal(
+            "consumer", blob, epochs=EPOCHS,
+            proof_kind=ProofKind.STORAGE, provider_id="honest-provider",
+            price_per_epoch=1.0,
+        )
+        deals["dropper"] = yield from market.make_deal(
+            "consumer", blob, epochs=EPOCHS,
+            proof_kind=ProofKind.RETRIEVABILITY, provider_id="dropping-provider",
+            price_per_epoch=1.0,
+        )
+        # The Sybil provider claims a sealed replica it never stores.
+        sealed = seal_blob(blob, "replica-2")
+        sybil.accept_blob(seal_blob(blob, "replica-1"))
+        sybil.claim_sealed_without_storing(sealed, blob, "replica-2")
+        deals["sybil"] = yield from market.register_external_deal(StorageDeal(
+            deal_id="sybil-deal",
+            consumer="consumer",
+            provider_id="sybil-provider",
+            commitment=Commitment(sealed.merkle_root, len(sealed.chunks)),
+            size_bytes=blob.size_bytes,
+            price_per_epoch=1.0,
+            epochs_total=EPOCHS,
+            proof_kind=ProofKind.REPLICATION,
+        ))
+        # The dropper cheats right after the deal opens.
+        dropper.drop_chunks(blob.merkle_root, 0.5, streams.stream("drop"))
+
+        for epoch in range(EPOCHS):
+            yield from market.run_epoch()
+        return deals
+
+    deals = sim.run_process(scenario(), until=1_000_000.0)
+
+    rows = []
+    for label, deal in deals.items():
+        rows.append({
+            "provider": deal.provider_id,
+            "behaviour": label,
+            "audit": deal.proof_kind,
+            "epochs_paid": f"{deal.epochs_paid}/{EPOCHS}",
+            "earned": f"{market.provider_earnings(deal.provider_id):.2f}",
+            "state": deal.state,
+        })
+    print(render_table(rows))
+
+    print(
+        "\nReading: the honest provider collects the full contract; the"
+        "\ndata-dropper is slashed once a sampled audit hits a missing"
+        "\nchunk; the Sybil provider answers correctly but too slowly"
+        "\n(it must re-seal on demand) and is slashed on the deadline —"
+        "\nproof-of-replication working as §3.3 describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""feudalsim — an executable reproduction of
+"The Barriers to Overthrowing Internet Feudalism" (HotNets 2017).
+
+The paper is a position paper: it surveys re-decentralization efforts across
+four problem areas (naming, group communication, data storage, web
+applications) and performs one back-of-the-envelope feasibility analysis.
+This library turns that analysis — and every qualitative claim around it —
+into executable, measurable simulations:
+
+* :mod:`repro.core` — the paper's conceptual contribution: the
+  distribution x control axes, the project taxonomy (Table 1), the
+  desirable-property scorecards, and the infrastructure feasibility model
+  (Table 3).
+* :mod:`repro.sim`, :mod:`repro.net`, :mod:`repro.crypto`,
+  :mod:`repro.chain`, :mod:`repro.dht`, :mod:`repro.gossip` — substrates
+  built from scratch: a deterministic discrete-event simulator, a network
+  model with churn, a proof-of-work blockchain, and a Kademlia DHT.
+* :mod:`repro.naming`, :mod:`repro.groupcomm`, :mod:`repro.storage`,
+  :mod:`repro.webapps` — one simulated system family per problem area the
+  paper surveys, each with centralized baselines and attack models.
+* :mod:`repro.analysis` — experiment drivers that regenerate the paper's
+  tables and the derived experiments documented in DESIGN.md.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

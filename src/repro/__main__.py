@@ -1,0 +1,157 @@
+"""Command-line entry point: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro table1            # Table 1 (project taxonomy)
+    python -m repro table2            # Table 2 (storage systems)
+    python -m repro table3            # Table 3 (capacity estimates)
+    python -m repro zooko             # the Zooko's-triangle assessment
+    python -m repro agenda            # the §5 research agenda
+    python -m repro experiment E4     # any DESIGN.md experiment driver
+    python -m repro list              # what can be run
+
+Experiment runs use small default parameters (seconds of wall clock);
+the benchmarks run the calibrated versions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.analysis import render_kv, render_table
+
+
+def _table1() -> None:
+    from repro.core import table1_rows
+
+    print(render_table(table1_rows()))
+
+
+def _table2() -> None:
+    from repro.storage import table2_rows
+
+    print(render_table(table2_rows()))
+
+
+def _table3() -> None:
+    from repro.analysis import run_feasibility
+
+    result = run_feasibility()
+    print(render_table(result["table3"]))
+    print()
+    print(render_kv({k: str(v) for k, v in result["sufficient"].items()},
+                    title="Sufficient capacity among devices?"))
+
+
+def _zooko() -> None:
+    from repro.naming import triangle_table
+
+    print(render_table(triangle_table()))
+
+
+def _agenda() -> None:
+    from repro.core import AGENDA
+
+    rows = [
+        {"difficulty": item.difficulty, "problem": item.title,
+         "experiments": ", ".join(item.informed_by_experiments) or "-"}
+        for item in AGENDA
+    ]
+    print(render_table(rows))
+
+
+_EXPERIMENTS: Dict[str, Callable[[], object]] = {}
+
+
+def _register_experiments() -> None:
+    from repro.analysis import (
+        naming_attack_curve,
+        run_federation_availability,
+        run_name_theft,
+        run_naming_comparison,
+        run_proof_economics,
+        run_quality_vs_quantity,
+        run_social_tradeoff,
+        run_swarm_availability,
+    )
+    from repro.analysis.experiments import (
+        run_endless_ledger,
+        run_moderation_comparison,
+        run_usenet_collapse,
+    )
+
+    _EXPERIMENTS.update({
+        "E4": lambda: run_federation_availability(seed=7),
+        "E5": lambda: run_social_tradeoff(seed=3),
+        "E6A": lambda: run_naming_comparison(seed=2),
+        "E6B": lambda: naming_attack_curve(),
+        "E6C": lambda: [run_name_theft(seed=9)],
+        "E7": lambda: run_proof_economics(seed=4),
+        "E8": lambda: run_swarm_availability(seed=6),
+        "E9": lambda: run_quality_vs_quantity(seed=2),
+        "E10": lambda: run_moderation_comparison(seed=1),
+        "E11": lambda: run_usenet_collapse(seed=3),
+        "E12": lambda: run_endless_ledger(seed=3),
+    })
+
+
+def _experiment(name: str) -> int:
+    _register_experiments()
+    runner = _EXPERIMENTS.get(name.upper())
+    if runner is None:
+        print(f"unknown experiment {name!r}; known:"
+              f" {', '.join(sorted(_EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    rows = runner()
+    print(render_table(list(rows)))
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate artifacts from 'The Barriers to Overthrowing"
+                    " Internet Feudalism' (HotNets 2017).",
+    )
+    sub = parser.add_subparsers(dest="command")
+    for name in ("table1", "table2", "table3", "zooko", "agenda", "verify", "list"):
+        sub.add_parser(name)
+    experiment = sub.add_parser("experiment")
+    experiment.add_argument("name", help="experiment id, e.g. E4 or E6b")
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        _table1()
+    elif args.command == "table2":
+        _table2()
+    elif args.command == "table3":
+        _table3()
+    elif args.command == "zooko":
+        _zooko()
+    elif args.command == "agenda":
+        _agenda()
+    elif args.command == "experiment":
+        return _experiment(args.name)
+    elif args.command == "verify":
+        from repro.analysis import verify_reproduction
+
+        rows = verify_reproduction()
+        print(render_table(rows))
+        if any(row["status"] != "PASS" for row in rows):
+            return 3
+        print("\nAll reproduction targets hold.")
+    elif args.command == "list":
+        _register_experiments()
+        print("tables: table1 table2 table3")
+        print("other:  zooko agenda verify")
+        print(f"experiments: {' '.join(sorted(_EXPERIMENTS))}")
+    else:
+        parser.print_help()
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

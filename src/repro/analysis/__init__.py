@@ -1,0 +1,36 @@
+"""Experiment drivers and table rendering (the bench layer's engine)."""
+
+from repro.analysis.experiments import (
+    naming_attack_curve,
+    run_federation_availability,
+    run_feasibility,
+    run_name_theft,
+    run_naming_comparison,
+    run_proof_economics,
+    run_quality_vs_quantity,
+    run_social_tradeoff,
+    run_swarm_availability,
+)
+from repro.analysis.figures import ascii_plot, sparkline
+from repro.analysis.sweep import cross_product, sweep
+from repro.analysis.verification import verify_reproduction
+from repro.analysis.tables import render_kv, render_table
+
+__all__ = [
+    "run_feasibility",
+    "run_federation_availability",
+    "run_social_tradeoff",
+    "run_naming_comparison",
+    "naming_attack_curve",
+    "run_name_theft",
+    "run_proof_economics",
+    "run_swarm_availability",
+    "run_quality_vs_quantity",
+    "sweep",
+    "cross_product",
+    "render_table",
+    "render_kv",
+    "sparkline",
+    "ascii_plot",
+    "verify_reproduction",
+]

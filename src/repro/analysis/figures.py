@@ -1,0 +1,80 @@
+"""Plain-text figures: sparklines and scatter/line plots.
+
+The paper has no figures, but several derived experiments are curves
+(E6b's attack probability, E8's availability threshold).  These helpers
+render them in a terminal without any plotting dependency; the CLI's
+``figure`` command and the examples use them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["sparkline", "ascii_plot"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line block-character sparkline."""
+    if not values:
+        raise ReproError("sparkline of no values")
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _BLOCKS[0] * len(values)
+    span = hi - lo
+    out = []
+    for value in values:
+        index = int((value - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[index])
+    return "".join(out)
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "*",
+) -> str:
+    """A simple scatter/line plot on a character grid with axes."""
+    if len(xs) != len(ys):
+        raise ReproError(f"xs and ys differ in length: {len(xs)} vs {len(ys)}")
+    if not xs:
+        raise ReproError("nothing to plot")
+    if width < 10 or height < 4:
+        raise ReproError("plot area too small")
+
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    y_hi_text = f"{y_hi:g}"
+    y_lo_text = f"{y_lo:g}"
+    gutter = max(len(y_hi_text), len(y_lo_text)) + 1
+
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = y_hi_text.rjust(gutter)
+        elif i == height - 1:
+            prefix = y_lo_text.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(" " * (gutter + 1) + x_axis)
+    lines.append(" " * (gutter + 1) + f"{y_label} vs {x_label}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Attach measured experiment results to the paper's property scorecards.
+
+The paper's §2.1/§3.2 property discussion is qualitative; this module
+replaces the qualitative priors with measurements from the E4/E5 drivers,
+producing scorecards whose ``evidence`` fields point at experiment ids —
+the "paper claim, now measured" artifact tests and benches assert on.
+"""
+
+from __future__ import annotations
+
+from copy import deepcopy
+from typing import Dict, List, Optional
+
+from repro.analysis.experiments import (
+    run_federation_availability,
+    run_social_tradeoff,
+)
+from repro.core.properties import PAPER_SCORECARDS, Scorecard
+
+__all__ = ["measured_scorecards"]
+
+_FAMILY_TO_CARD = {
+    "centralized": "centralized",
+    "federated_single_home": "federated_single_home",
+    "federated_replicated": "federated_replicated",
+    "federated_replicated_e2e": "federated_replicated",
+    "socially_aware_p2p": "socially_aware_p2p",
+}
+
+
+def measured_scorecards(seed: int = 1) -> Dict[str, Scorecard]:
+    """Scorecards with measured connectedness and privacy scores.
+
+    * ``connectedness`` <- E5 read availability under device churn,
+      refined by E4 server-failure availability for the federated models;
+    * ``privacy`` <- 1 - operator exposure from the E5 audits.
+
+    Scores not covered by an experiment keep their qualitative prior
+    (evidence ``paper:qualitative``).
+    """
+    cards = {name: deepcopy(card) for name, card in PAPER_SCORECARDS.items()}
+
+    tradeoff_rows = run_social_tradeoff(seed=seed)
+    for row in tradeoff_rows:
+        card_name = _FAMILY_TO_CARD.get(str(row["system"]))
+        if card_name is None:
+            continue
+        card = cards[card_name]
+        card.attach_measurement(
+            "connectedness", float(row["availability"]), "E5"
+        )
+        privacy = 1.0 - float(row["operator_exposure"])
+        # The E2E variant is the federated_replicated family's best
+        # privacy configuration; keep the max across its variants.
+        current = card.score("privacy")
+        if (
+            card.evidence.get("privacy") != "measured:E5"
+            or current is None
+            or privacy > current
+        ):
+            card.attach_measurement("privacy", privacy, "E5")
+
+    federation_rows = run_federation_availability(seed=seed)
+    by_model = {row["model"]: row for row in federation_rows}
+    cards["federated_single_home"].attach_measurement(
+        "connectedness",
+        float(by_model["single_home"]["read_availability"]),
+        "E4",
+    )
+    cards["federated_replicated"].attach_measurement(
+        "connectedness",
+        float(by_model["replicated_failover"]["read_availability"]),
+        "E4",
+    )
+    return cards

@@ -1,0 +1,36 @@
+"""Generic parameter-sweep helper used by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+__all__ = ["sweep", "cross_product"]
+
+
+def sweep(
+    run: Callable[..., Any],
+    parameter: str,
+    values: Iterable[Any],
+    **fixed: Any,
+) -> List[Dict[str, Any]]:
+    """Run ``run(**fixed, parameter=value)`` per value.
+
+    Returns rows of ``{parameter: value, "result": result}``.
+    """
+    rows = []
+    for value in values:
+        kwargs = dict(fixed)
+        kwargs[parameter] = value
+        rows.append({parameter: value, "result": run(**kwargs)})
+    return rows
+
+
+def cross_product(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
+    """All combinations of named axes, as kwargs dicts (stable order)."""
+    names = sorted(axes)
+    combos: List[Dict[str, Any]] = [{}]
+    for name in names:
+        combos = [
+            {**combo, name: value} for combo in combos for value in axes[name]
+        ]
+    return combos

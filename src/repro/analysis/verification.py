@@ -1,0 +1,165 @@
+"""Reproduction self-check: does this build still reproduce the paper?
+
+``verify_reproduction()`` runs a fast version of every reproduction
+target (DESIGN.md §3's expected shapes) and returns PASS/FAIL rows — a
+one-command audit a downstream user can run after modifying anything:
+
+    python -m repro verify
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+__all__ = ["verify_reproduction"]
+
+
+def _check_table1() -> None:
+    from repro.core import table1_rows
+
+    rows = {r["problem"]: r["projects"] for r in table1_rows()}
+    assert rows["Naming"] == "Namecoin, Emercoin, Blockstack"
+    assert rows["Web applications"] == "Beaker, ZeroNet, Freedom.js"
+
+
+def _check_table2() -> None:
+    from repro.storage import table2_rows
+
+    rows = {r["system"]: r for r in table2_rows()}
+    assert len(rows) == 7
+    assert rows["IPFS"]["blockchain_usage"] == "None"
+    assert "Proof-of-replication" in rows["Filecoin"]["incentive_scheme"]
+
+
+def _check_table3_exact() -> None:
+    from repro.analysis import run_feasibility
+
+    result = run_feasibility()
+    assert result["table3"] == [
+        {"resource": "Bandwidth", "cloud": "200 Tbps", "devices": "5000 Tbps"},
+        {"resource": "Cores", "cloud": "400 M", "devices": "500 M"},
+        {"resource": "Storage", "cloud": "80 EB", "devices": "210 EB"},
+    ]
+    assert all(result["sufficient"].values())
+
+
+def _check_e4_shape() -> None:
+    from repro.analysis import run_federation_availability
+
+    rows = {
+        r["model"]: r["read_availability"]
+        for r in run_federation_availability(seed=7, n_servers=5, n_users=10,
+                                             n_messages=4)
+    }
+    assert rows["single_home"] < 1.0
+    assert rows["replicated_failover"] == 1.0
+
+
+def _check_e5_shape() -> None:
+    from repro.analysis import run_social_tradeoff
+
+    rows = {r["system"]: r for r in run_social_tradeoff(
+        seed=3, n_users=12, n_posts=6, n_probes=20, horizon=2000.0
+    )}
+    assert rows["centralized"]["operator_exposure"] == 1.0
+    assert rows["socially_aware_p2p"]["operator_exposure"] == 0.0
+    assert (
+        rows["centralized"]["availability"]
+        >= rows["socially_aware_p2p"]["availability"]
+    )
+
+
+def _check_e6_crossover() -> None:
+    from repro.analysis import naming_attack_curve
+
+    curve = {r["attacker_share"]: r["rewrite_probability"]
+             for r in naming_attack_curve(shares=(0.2, 0.5, 0.6))}
+    assert curve[0.2] < 0.05
+    assert curve[0.5] == 1.0
+    assert curve[0.6] == 1.0
+
+
+def _check_e7_shape() -> None:
+    from repro.analysis import run_proof_economics
+
+    rows = {(r["behaviour"], r["audit"]): r
+            for r in run_proof_economics(seed=4, epochs=6, blob_chunks=16)}
+    assert not rows[("honest", "proof_of_storage")]["slashed"]
+    assert not rows[("drop_half_no_audits", "none")]["slashed"]
+    assert rows[("dedup_sybil", "proof_of_replication")]["slashed"]
+
+
+def _check_e8_shape() -> None:
+    from repro.analysis import run_swarm_availability
+
+    rows = {r["offered_load"]: r["availability"]
+            for r in run_swarm_availability(
+                seed=6, offered_loads=(0.2, 16.0), horizon=1500.0
+            )}
+    assert rows[0.2] < 0.5 < rows[16.0]
+
+
+def _check_e9_shape() -> None:
+    from repro.analysis import run_quality_vs_quantity
+
+    rows = {(r["infrastructure"], r["replication_factor"]): r
+            for r in run_quality_vs_quantity(
+                seed=2, replication_factors=(1, 3), n_providers=10,
+                horizon=2000.0, n_probes=12, blob_kib=2,
+            )}
+    assert rows[("datacenter", 1)]["retrieval_availability"] == 1.0
+    assert rows[("device", 1)]["retrieval_availability"] < 1.0
+    assert rows[("device", 3)]["repair_bytes"] > 0
+
+
+def _check_selfish_mining() -> None:
+    from repro.chain import selfish_mining_revenue
+
+    assert selfish_mining_revenue(0.30, 0.0, 120_000, 1) < 0.30
+    assert selfish_mining_revenue(0.40, 0.0, 120_000, 1) > 0.40
+
+
+def _check_refeudalization() -> None:
+    from repro.core.economics import MarketParams, ProviderMarket
+    from repro.sim import RngStreams
+
+    flat = ProviderMarket(
+        12, MarketParams(scale_advantage=0.0), RngStreams(1)
+    )
+    flat.run(150)
+    scaled = ProviderMarket(
+        12, MarketParams(scale_advantage=0.25), RngStreams(1)
+    )
+    scaled.run(150)
+    assert scaled.concentration() > flat.concentration()
+
+
+_CHECKS: List = [
+    ("Table 1 regenerates (E1)", _check_table1),
+    ("Table 2 regenerates (E2)", _check_table2),
+    ("Table 3 exact cells (E3)", _check_table3_exact),
+    ("Federation SPOF shape (E4)", _check_e4_shape),
+    ("Privacy/availability trade (E5)", _check_e5_shape),
+    ("51% crossover at 0.5 (E6)", _check_e6_crossover),
+    ("Proof economics (E7)", _check_e7_shape),
+    ("Swarm popularity threshold (E8)", _check_e8_shape),
+    ("Quality vs quantity (E9)", _check_e9_shape),
+    ("Selfish-mining threshold (E13)", _check_selfish_mining),
+    ("Re-feudalization dynamic (§5.3)", _check_refeudalization),
+]
+
+
+def verify_reproduction() -> List[Dict[str, str]]:
+    """Run every reproduction check; returns PASS/FAIL rows."""
+    rows = []
+    for label, check in _CHECKS:
+        try:
+            check()
+            rows.append({"target": label, "status": "PASS", "detail": ""})
+        except AssertionError as exc:
+            rows.append({"target": label, "status": "FAIL",
+                         "detail": str(exc)[:60]})
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            rows.append({"target": label, "status": "ERROR",
+                         "detail": f"{type(exc).__name__}: {exc}"[:60]})
+    return rows

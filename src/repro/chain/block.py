@@ -1,0 +1,124 @@
+"""Blocks and block headers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.chain.transaction import Transaction
+from repro.crypto.hashing import hash_obj
+from repro.crypto.merkle import MerkleTree
+from repro.errors import InvalidBlockError
+
+__all__ = ["Block", "GENESIS_PARENT", "make_genesis"]
+
+GENESIS_PARENT = "0" * 64
+
+
+def transactions_merkle_root(transactions: Tuple[Transaction, ...]) -> str:
+    """Merkle root over the canonical bytes of each transaction."""
+    leaves = [tx.txid.encode("utf-8") for tx in transactions]
+    if not leaves:
+        leaves = [b"empty"]
+    return MerkleTree(leaves).root
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable block.
+
+    ``difficulty`` is expected hash attempts (work attested by the mining
+    process); ``nonce`` optionally carries a real small-puzzle solution for
+    tests that grind actual hashes.  Cumulative work for fork choice is the
+    sum of ``difficulty`` along the chain.
+    """
+
+    parent_id: str
+    height: int
+    timestamp: float
+    miner: str
+    difficulty: float
+    transactions: Tuple[Transaction, ...]
+    merkle_root: str
+    nonce: int = 0
+
+    @property
+    def block_id(self) -> str:
+        return hash_obj(self.header())
+
+    def header(self) -> dict:
+        return {
+            "parent_id": self.parent_id,
+            "height": self.height,
+            "timestamp": self.timestamp,
+            "miner": self.miner,
+            "difficulty": self.difficulty,
+            "merkle_root": self.merkle_root,
+            "nonce": self.nonce,
+        }
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.parent_id == GENESIS_PARENT
+
+    def validate_shape(self) -> None:
+        """Structural checks independent of chain context."""
+        if self.height < 0:
+            raise InvalidBlockError(f"negative height {self.height}")
+        if self.difficulty <= 0:
+            raise InvalidBlockError(f"non-positive difficulty {self.difficulty}")
+        if self.merkle_root != transactions_merkle_root(self.transactions):
+            raise InvalidBlockError(
+                f"merkle root mismatch in block {self.block_id[:12]}"
+            )
+        coinbases = [tx for tx in self.transactions if tx.is_coinbase]
+        if self.is_genesis:
+            return
+        if len(coinbases) != 1:
+            raise InvalidBlockError(
+                f"block must contain exactly one coinbase, has {len(coinbases)}"
+            )
+        if self.transactions[0] is not coinbases[0]:
+            raise InvalidBlockError("coinbase must be the first transaction")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Block(h={self.height}, id={self.block_id[:8]},"
+            f" parent={self.parent_id[:8]}, txs={len(self.transactions)})"
+        )
+
+
+def make_block(
+    parent: "Block",
+    timestamp: float,
+    miner: str,
+    difficulty: float,
+    transactions: List[Transaction],
+    nonce: int = 0,
+) -> Block:
+    """Assemble a child block with a correct Merkle commitment."""
+    txs = tuple(transactions)
+    return Block(
+        parent_id=parent.block_id,
+        height=parent.height + 1,
+        timestamp=timestamp,
+        miner=miner,
+        difficulty=difficulty,
+        transactions=txs,
+        merkle_root=transactions_merkle_root(txs),
+        nonce=nonce,
+    )
+
+
+def make_genesis(timestamp: float = 0.0, difficulty: float = 1.0) -> Block:
+    """The genesis block: empty, height 0, well-known parent id."""
+    txs: Tuple[Transaction, ...] = ()
+    return Block(
+        parent_id=GENESIS_PARENT,
+        height=0,
+        timestamp=timestamp,
+        miner="genesis",
+        difficulty=difficulty,
+        transactions=txs,
+        merkle_root=transactions_merkle_root(txs),
+    )

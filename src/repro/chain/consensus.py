@@ -1,0 +1,74 @@
+"""Consensus parameters and the difficulty-retarget rule.
+
+Difficulty is a pure function of the chain (as in Bitcoin), so every
+participant computes the same required difficulty for the next block and
+can reject blocks that claim the wrong one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.block import Block
+from repro.chain.chainstate import ChainState
+from repro.errors import InvalidBlockError
+
+__all__ = ["ConsensusParams", "required_difficulty"]
+
+
+@dataclass(frozen=True)
+class ConsensusParams:
+    """Proof-of-work consensus constants.
+
+    ``target_block_interval`` — desired seconds between blocks (Bitcoin:
+    600; Namecoin inherits it; naming experiments sweep this).
+    ``retarget_interval`` — blocks between difficulty adjustments.
+    ``initial_difficulty`` — expected hash attempts for the first blocks.
+    ``max_retarget_factor`` — clamp on a single adjustment (Bitcoin: 4).
+    """
+
+    target_block_interval: float = 600.0
+    retarget_interval: int = 144
+    initial_difficulty: float = 1e6
+    max_retarget_factor: float = 4.0
+    confirmations_required: int = 6
+
+    def __post_init__(self) -> None:
+        if self.target_block_interval <= 0:
+            raise InvalidBlockError("target_block_interval must be positive")
+        if self.retarget_interval < 1:
+            raise InvalidBlockError("retarget_interval must be >= 1")
+        if self.max_retarget_factor < 1:
+            raise InvalidBlockError("max_retarget_factor must be >= 1")
+
+
+def required_difficulty(
+    chain: ChainState, parent: Block, params: ConsensusParams
+) -> float:
+    """Difficulty required of the block that extends ``parent``.
+
+    Adjusts every ``retarget_interval`` blocks by the ratio of intended to
+    actual elapsed time over the previous window, clamped to
+    ``max_retarget_factor`` in either direction.
+    """
+    next_height = parent.height + 1
+    if next_height <= 1:
+        return params.initial_difficulty
+    if next_height % params.retarget_interval != 0:
+        return parent.difficulty
+
+    # Walk back along *parent's branch* to the window start.
+    window_start = parent
+    steps = params.retarget_interval - 1
+    for _ in range(steps):
+        if window_start.is_genesis:
+            break
+        window_start = chain.block(window_start.parent_id)
+    actual_span = parent.timestamp - window_start.timestamp
+    intended_span = params.target_block_interval * steps
+    if steps == 0 or actual_span <= 0:
+        return parent.difficulty
+    ratio = intended_span / actual_span
+    ratio = max(1.0 / params.max_retarget_factor,
+                min(params.max_retarget_factor, ratio))
+    return parent.difficulty * ratio

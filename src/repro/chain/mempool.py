@@ -1,0 +1,130 @@
+"""The mempool: pending transactions awaiting inclusion in a block."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.chain.ledger import LedgerRules, LedgerState, apply_transaction
+from repro.chain.transaction import Transaction
+from repro.errors import InvalidTransactionError
+
+__all__ = ["Mempool"]
+
+
+class Mempool:
+    """Fee-prioritized pending-transaction pool.
+
+    Shape-validates on admission; full contextual validation happens at
+    block-assembly time against the then-current ledger state (a
+    transaction valid when submitted can be invalidated by a conflicting
+    one mined first — e.g. two registrations of the same name, the race
+    the naming experiments exercise).
+    """
+
+    def __init__(self, max_size: int = 100_000):
+        self._txs: Dict[str, Transaction] = {}
+        self.max_size = max_size
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._txs)
+
+    def __contains__(self, txid: str) -> bool:
+        return txid in self._txs
+
+    def add(self, tx: Transaction) -> bool:
+        """Admit a transaction; returns False for duplicates/full pool."""
+        if tx.is_coinbase:
+            raise InvalidTransactionError("coinbase txs cannot enter the mempool")
+        try:
+            tx.validate_shape()
+        except InvalidTransactionError:
+            self.rejected += 1
+            raise
+        if tx.txid in self._txs:
+            return False
+        if len(self._txs) >= self.max_size:
+            self.rejected += 1
+            return False
+        self._txs[tx.txid] = tx
+        return True
+
+    def add_all(self, txs: Iterable[Transaction]) -> int:
+        count = 0
+        for tx in txs:
+            try:
+                if self.add(tx):
+                    count += 1
+            except InvalidTransactionError:
+                continue
+        return count
+
+    def remove(self, txid: str) -> None:
+        self._txs.pop(txid, None)
+
+    def remove_mined(self, txs: Iterable[Transaction]) -> None:
+        for tx in txs:
+            self._txs.pop(tx.txid, None)
+
+    def pending(self) -> List[Transaction]:
+        """All pending transactions, fee-descending then txid (stable)."""
+        return sorted(
+            self._txs.values(), key=lambda tx: (-tx.fee, tx.txid)
+        )
+
+    def select(
+        self,
+        base_state: LedgerState,
+        height: int,
+        rules: LedgerRules,
+        max_txs: int = 1000,
+    ) -> List[Transaction]:
+        """Pick a valid, fee-maximal batch by greedy trial application.
+
+        Applies candidates to a scratch copy of ``base_state`` so the batch
+        is consistent as a whole (respects nonce ordering, balances, and
+        name conflicts).  Transactions whose nonce is not yet current stay
+        in the pool for later blocks.
+        """
+        scratch = base_state.copy()
+        selected: List[Transaction] = []
+        # Two passes by (sender, nonce) within fee order handle same-sender
+        # chains: sort primarily by fee but keep nonce order per sender.
+        candidates = sorted(
+            self._txs.values(), key=lambda tx: (tx.sender, tx.nonce)
+        )
+        candidates.sort(key=lambda tx: -tx.fee)
+        made_progress = True
+        while made_progress and len(selected) < max_txs:
+            made_progress = False
+            for tx in list(candidates):
+                if len(selected) >= max_txs:
+                    break
+                if scratch.next_nonce(tx.sender) != tx.nonce:
+                    continue
+                trial = scratch.copy()
+                try:
+                    apply_transaction(trial, tx, height, rules, fees_to=None)
+                except InvalidTransactionError:
+                    continue
+                scratch = trial
+                selected.append(tx)
+                candidates.remove(tx)
+                made_progress = True
+        return selected
+
+    def drop_invalid(
+        self, base_state: LedgerState, height: int, rules: LedgerRules
+    ) -> int:
+        """Evict transactions that can never apply (stale nonce).
+
+        Returns the eviction count.  Called after adopting a new tip.
+        """
+        stale = [
+            txid
+            for txid, tx in self._txs.items()
+            if tx.nonce < base_state.next_nonce(tx.sender)
+        ]
+        for txid in stale:
+            del self._txs[txid]
+        return len(stale)

@@ -1,0 +1,102 @@
+"""The paper's conceptual contribution, made executable.
+
+* :mod:`repro.core.axes` — the distribution x control model (§2).
+* :mod:`repro.core.taxonomy` — the project registry behind Table 1 (§3).
+* :mod:`repro.core.properties` — desirable-property scorecards (§2.1, §3.2).
+* :mod:`repro.core.feasibility` — the capacity model behind Table 3 (§4).
+* :mod:`repro.core.agenda` — the research agenda (§5).
+* :mod:`repro.core.units` — unit constants and Table-3-style formatting.
+"""
+
+from repro.core.agenda import AGENDA, AgendaItem, Difficulty, items_by_difficulty
+from repro.core.demand import (
+    DecentralizationOverhead,
+    SERVICES,
+    ServiceDemand,
+    demand_table,
+    serveable_users,
+)
+from repro.core.axes import (
+    Control,
+    Distribution,
+    ERA_PROFILES,
+    SystemProfile,
+    classify,
+    trajectory,
+)
+from repro.core.feasibility import (
+    Capacity,
+    CloudAssumptions,
+    DeviceClassAssumptions,
+    FeasibilityModel,
+    PAPER_CLOUD,
+    PAPER_DEVICE_CLASSES,
+    paper_model,
+)
+from repro.core.properties import (
+    CommProperty,
+    OperatorProperty,
+    PAPER_SCORECARDS,
+    Scorecard,
+    UserProperty,
+)
+from repro.core.taxonomy import (
+    NetworkModel,
+    PROJECTS,
+    Problem,
+    Project,
+    projects_for,
+    table1_rows,
+)
+from repro.core.units import (
+    EB,
+    GB,
+    MBPS,
+    TBPS,
+    format_bandwidth,
+    format_cores,
+    format_storage,
+)
+
+__all__ = [
+    "Distribution",
+    "Control",
+    "SystemProfile",
+    "ERA_PROFILES",
+    "classify",
+    "trajectory",
+    "Problem",
+    "NetworkModel",
+    "Project",
+    "PROJECTS",
+    "projects_for",
+    "table1_rows",
+    "UserProperty",
+    "OperatorProperty",
+    "CommProperty",
+    "Scorecard",
+    "PAPER_SCORECARDS",
+    "Capacity",
+    "CloudAssumptions",
+    "DeviceClassAssumptions",
+    "FeasibilityModel",
+    "PAPER_CLOUD",
+    "PAPER_DEVICE_CLASSES",
+    "paper_model",
+    "ServiceDemand",
+    "DecentralizationOverhead",
+    "SERVICES",
+    "serveable_users",
+    "demand_table",
+    "AgendaItem",
+    "Difficulty",
+    "AGENDA",
+    "items_by_difficulty",
+    "TBPS",
+    "MBPS",
+    "GB",
+    "EB",
+    "format_bandwidth",
+    "format_cores",
+    "format_storage",
+]

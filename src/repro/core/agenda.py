@@ -1,0 +1,144 @@
+"""The paper's research agenda (§5) as a typed registry.
+
+The discussion section sorts open problems into easy / moderate / hard.
+Keeping them as data lets the analysis layer link each simulated
+experiment to the agenda item it informs, and lets EXPERIMENTS.md be
+generated with full cross-references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["Difficulty", "AgendaItem", "AGENDA", "items_by_difficulty"]
+
+
+class Difficulty:
+    EASY = "easy"
+    MODERATE = "moderate"
+    HARD = "hard"
+
+    ALL = (EASY, MODERATE, HARD)
+
+
+@dataclass(frozen=True)
+class AgendaItem:
+    """One open problem from §5."""
+
+    key: str
+    difficulty: str
+    title: str
+    summary: str
+    informed_by_experiments: Tuple[str, ...] = ()
+    technical: bool = True  # §5.3 notes some problems are not purely technical
+
+    def __post_init__(self) -> None:
+        if self.difficulty not in Difficulty.ALL:
+            raise ReproError(f"unknown difficulty {self.difficulty!r}")
+
+
+AGENDA: Tuple[AgendaItem, ...] = (
+    # §5.1 Easy
+    AgendaItem(
+        key="blockchain_perf_security",
+        difficulty=Difficulty.EASY,
+        title="Studying the performance and security of blockchain-based systems",
+        summary=(
+            "Hacker communities built many blockchain systems but neglected "
+            "performance evaluation and security models under new requirements."
+        ),
+        informed_by_experiments=("E6", "E7"),
+    ),
+    AgendaItem(
+        key="build_new_primitives",
+        difficulty=Difficulty.EASY,
+        title="Design, build, and evaluate new decentralized systems and primitives",
+        summary="Classic systems-research work applied to decentralization.",
+        informed_by_experiments=("E4", "E5", "E8"),
+    ),
+    AgendaItem(
+        key="federated_spof",
+        difficulty=Difficulty.EASY,
+        title="Eliminating single points of failure in federated approaches",
+        summary=(
+            "Federated systems are an ideal stepping stone but often lack "
+            "canonical fault-tolerance goals."
+        ),
+        informed_by_experiments=("E4",),
+    ),
+    # §5.2 Moderate
+    AgendaItem(
+        key="researcher_user_mismatch",
+        difficulty=Difficulty.MODERATE,
+        title="Overcoming the mismatch between researcher objectives and user needs",
+        summary="Systems solve exciting problems while user needs stay mundane.",
+        technical=False,
+    ),
+    AgendaItem(
+        key="research_hacker_gap",
+        difficulty=Difficulty.MODERATE,
+        title="Bridging the research and hacker communities",
+        summary=(
+            "Federated projects ship without modern privacy mechanisms; "
+            "pluggable toolkits could close the gap."
+        ),
+        informed_by_experiments=("E5",),
+    ),
+    AgendaItem(
+        key="quality_vs_quantity",
+        difficulty=Difficulty.MODERATE,
+        title="Grappling with infrastructure quality vs. quantity",
+        summary=(
+            "Device capacity is sufficient in aggregate (Table 3) but far "
+            "poorer per unit; systems must cope with intermittency, failures, "
+            "and variable performance."
+        ),
+        informed_by_experiments=("E3", "E9"),
+    ),
+    # §5.3 Hard
+    AgendaItem(
+        key="incentives",
+        difficulty=Difficulty.HARD,
+        title="Incentivizing development of democratized Internet systems",
+        summary="Alternatives need engineering effort comparable to the incumbents'.",
+        technical=False,
+    ),
+    AgendaItem(
+        key="authority_infrastructure_decoupling",
+        difficulty=Difficulty.HARD,
+        title="Decoupling authority from infrastructure",
+        summary=(
+            "Systems that keep user control without being rigid about the "
+            "infrastructure they run on (e.g. encrypted services on clouds)."
+        ),
+        informed_by_experiments=("E7",),
+    ),
+    AgendaItem(
+        key="prevent_refeudalization",
+        difficulty=Difficulty.HARD,
+        title="Preventing the re-emergence of feudalism",
+        summary=(
+            "Economies of scale pull toward centralization; not an entirely "
+            "technical problem."
+        ),
+        technical=False,
+    ),
+)
+
+
+def items_by_difficulty(difficulty: str) -> List[AgendaItem]:
+    if difficulty not in Difficulty.ALL:
+        raise ReproError(f"unknown difficulty {difficulty!r}")
+    return [item for item in AGENDA if item.difficulty == difficulty]
+
+
+def experiments_informing() -> Dict[str, List[str]]:
+    """Map experiment id -> agenda keys it informs (for EXPERIMENTS.md)."""
+    out: Dict[str, List[str]] = {}
+    for item in AGENDA:
+        for experiment in item.informed_by_experiments:
+            out.setdefault(experiment, []).append(item.key)
+    return out

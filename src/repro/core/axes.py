@@ -1,0 +1,118 @@
+"""The paper's two-axis model of Internet structure (§2).
+
+Changes to the Internet happened along two *orthogonal* axes the paper
+insists are usually conflated:
+
+* **distribution** — where the physical resources are: a single machine
+  (centralized) vs dispersed across many machines (distributed);
+* **control** — who holds authority over the service: many individuals or
+  organizations (democratic) vs a few (feudal).
+
+The paper's one-sentence history: the Internet went from
+partially-centralized + democratic to distributed + feudal, and the goal
+of the surveyed systems is distributed + democratic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ReproError
+
+__all__ = ["Distribution", "Control", "SystemProfile", "ERA_PROFILES", "classify"]
+
+
+class Distribution:
+    """The physical-resources axis."""
+
+    CENTRALIZED = "centralized"
+    PARTIALLY_CENTRALIZED = "partially_centralized"
+    DISTRIBUTED = "distributed"
+
+    ORDER = (CENTRALIZED, PARTIALLY_CENTRALIZED, DISTRIBUTED)
+
+
+class Control:
+    """The authority axis."""
+
+    FEUDAL = "feudal"
+    SEMI_DEMOCRATIC = "semi_democratic"
+    DEMOCRATIC = "democratic"
+
+    ORDER = (FEUDAL, SEMI_DEMOCRATIC, DEMOCRATIC)
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Where a system sits on the two axes.
+
+    ``operators`` and ``resource_sites`` are order-of-magnitude counts used
+    by :func:`classify`; the axis labels are derived, so a profile can
+    never claim an inconsistent position.
+    """
+
+    name: str
+    operators: int       # distinct parties holding authority
+    resource_sites: int  # distinct physical locations serving requests
+
+    def __post_init__(self) -> None:
+        if self.operators < 1 or self.resource_sites < 1:
+            raise ReproError(
+                f"profile {self.name!r} needs >=1 operator and site"
+            )
+
+    @property
+    def distribution(self) -> str:
+        if self.resource_sites <= 10:
+            return Distribution.CENTRALIZED
+        if self.resource_sites <= 10_000:
+            return Distribution.PARTIALLY_CENTRALIZED
+        return Distribution.DISTRIBUTED
+
+    @property
+    def control(self) -> str:
+        if self.operators <= 10:
+            return Control.FEUDAL
+        if self.operators <= 10_000:
+            return Control.SEMI_DEMOCRATIC
+        return Control.DEMOCRATIC
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "operators": self.operators,
+            "resource_sites": self.resource_sites,
+            "distribution": self.distribution,
+            "control": self.control,
+        }
+
+
+def classify(profile: SystemProfile) -> str:
+    """The quadrant label the paper's §2 narrative uses."""
+    return f"{profile.distribution}/{profile.control}"
+
+
+# The historical trajectory the paper describes, as data: the 1990s web
+# (ISP-hosted servers: hundreds-to-thousands of providers), today's cloud
+# (five feudal lords, planet-wide datacenters), and the goal state.
+ERA_PROFILES: Dict[str, SystemProfile] = {
+    "internet_1990s": SystemProfile(
+        name="internet_1990s", operators=2_000, resource_sites=2_000
+    ),
+    "internet_today": SystemProfile(
+        name="internet_today", operators=5, resource_sites=1_000_000
+    ),
+    "democratized_goal": SystemProfile(
+        name="democratized_goal", operators=1_000_000, resource_sites=1_000_000
+    ),
+}
+
+
+def trajectory() -> List[Dict[str, object]]:
+    """The §2 story as rows: where each era sits on both axes."""
+    return [
+        ERA_PROFILES["internet_1990s"].as_dict(),
+        ERA_PROFILES["internet_today"].as_dict(),
+        ERA_PROFILES["democratized_goal"].as_dict(),
+    ]

@@ -1,0 +1,180 @@
+"""The re-feudalization dynamic (§5.3): economies of scale, simulated.
+
+The paper's hardest problem: "centralization is frequently driven by
+economies of scale", so even a successfully democratized Internet tends
+to re-centralize.  This module makes that claim a dynamical system:
+
+* :func:`unit_cost` — a scale-economy cost curve: unit cost falls with
+  the volume an operator serves (learning-by-doing / amortized fixed
+  costs) toward an asymptotic floor;
+* :class:`ProviderMarket` — a repeated market game: providers price at
+  cost + margin, demand flows toward cheaper providers, and next round's
+  cost reflects this round's volume.  That is a positive feedback loop:
+  share -> cheaper -> more share.  Whether it runs away depends on the
+  product of ``scale_advantage`` and ``price_sensitivity`` — with either
+  at zero the market stays fragmented forever.
+
+The knob :attr:`MarketParams.scale_advantage` is exactly the paper's
+"not an entirely technical problem": holding it at zero is what a
+successful anti-feudal *economic* design would have to achieve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import FeasibilityError
+from repro.sim.rng import RngStreams
+
+__all__ = ["unit_cost", "MarketParams", "ProviderMarket", "herfindahl_index"]
+
+
+def unit_cost(
+    volume: float,
+    base_cost: float = 1.0,
+    floor_cost: float = 0.2,
+    scale_advantage: float = 0.25,
+) -> float:
+    """Unit cost of serving, falling with served volume.
+
+    ``cost(v) = floor + (base - floor) * (1 + v)^(-scale_advantage)`` — a
+    power-law scale curve.  ``scale_advantage = 0`` gives flat costs (no
+    advantage to being big).
+    """
+    if volume < 0:
+        raise FeasibilityError(f"volume cannot be negative: {volume}")
+    if not 0 <= scale_advantage <= 1:
+        raise FeasibilityError(
+            f"scale_advantage must be in [0,1]: {scale_advantage}"
+        )
+    if floor_cost > base_cost:
+        raise FeasibilityError("floor cost cannot exceed base cost")
+    return floor_cost + (base_cost - floor_cost) * (1 + volume) ** (-scale_advantage)
+
+
+def herfindahl_index(shares: List[float]) -> float:
+    """The Herfindahl-Hirschman concentration index: sum of squared market
+    shares.  1/N for a symmetric N-provider market; 1.0 for a monopoly."""
+    total = sum(shares)
+    if total <= 0:
+        raise FeasibilityError("shares must sum to a positive total")
+    return sum((share / total) ** 2 for share in shares)
+
+
+@dataclass(frozen=True)
+class MarketParams:
+    """Market dynamics constants."""
+
+    base_cost: float = 1.0
+    floor_cost: float = 0.2
+    scale_advantage: float = 0.25
+    margin: float = 0.1              # price = cost * (1 + margin)
+    price_sensitivity: float = 8.0   # demand share ~ price^-sensitivity
+    demand_total: float = 1000.0     # units of service demanded per round
+    volume_inertia: float = 0.5      # smoothing of served volume
+    exit_share: float = 0.01         # providers below this share exit
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.scale_advantage <= 1:
+            raise FeasibilityError("scale_advantage must be in [0,1]")
+        if self.price_sensitivity < 0 or self.margin < 0:
+            raise FeasibilityError("sensitivity and margin must be >= 0")
+        if not 0 <= self.volume_inertia < 1:
+            raise FeasibilityError("volume_inertia must be in [0,1)")
+
+
+@dataclass
+class _Provider:
+    name: str
+    volume: float
+    alive: bool = True
+
+
+class ProviderMarket:
+    """A repeated price-competition market with scale feedback."""
+
+    def __init__(
+        self,
+        n_providers: int,
+        params: Optional[MarketParams] = None,
+        streams: Optional[RngStreams] = None,
+        volume_jitter: float = 0.05,
+    ):
+        if n_providers < 1:
+            raise FeasibilityError("need at least one provider")
+        self.params = params or MarketParams()
+        rng = (streams or RngStreams(0)).stream("market.init")
+        start = self.params.demand_total / n_providers
+        # Tiny volume jitter seeds the symmetry-breaking that scale
+        # economies then amplify (or don't).
+        self.providers = [
+            _Provider(
+                name=f"prov{i}",
+                volume=start * (1 + rng.uniform(-volume_jitter, volume_jitter)),
+            )
+            for i in range(n_providers)
+        ]
+        self.round = 0
+
+    # -- one market round -----------------------------------------------------
+
+    def prices(self) -> Dict[str, float]:
+        return {
+            provider.name: unit_cost(
+                provider.volume,
+                self.params.base_cost,
+                self.params.floor_cost,
+                self.params.scale_advantage,
+            ) * (1 + self.params.margin)
+            for provider in self.providers
+            if provider.alive
+        }
+
+    def demand_shares(self) -> Dict[str, float]:
+        """Logit-style demand split: share ~ price^-sensitivity."""
+        prices = self.prices()
+        weights = {
+            name: price ** (-self.params.price_sensitivity)
+            for name, price in prices.items()
+        }
+        total = sum(weights.values())
+        return {name: weight / total for name, weight in weights.items()}
+
+    def step(self) -> None:
+        """One round: demand splits by price; served volume feeds next
+        round's costs; starved providers exit."""
+        self.round += 1
+        shares = self.demand_shares()
+        inertia = self.params.volume_inertia
+        for provider in self.providers:
+            if not provider.alive:
+                continue
+            share = shares[provider.name]
+            if share < self.params.exit_share and len(self.alive()) > 1:
+                provider.alive = False
+                continue
+            served = share * self.params.demand_total
+            provider.volume = inertia * provider.volume + (1 - inertia) * served
+
+    def run(self, rounds: int) -> List[Dict[str, float]]:
+        """Run the dynamic; returns per-round concentration metrics."""
+        history = []
+        for _ in range(rounds):
+            self.step()
+            shares = self.demand_shares()
+            history.append(
+                {
+                    "round": self.round,
+                    "providers_alive": len(self.alive()),
+                    "hhi": herfindahl_index(list(shares.values())),
+                    "top_share": max(shares.values()),
+                }
+            )
+        return history
+
+    def alive(self) -> List[_Provider]:
+        return [provider for provider in self.providers if provider.alive]
+
+    def concentration(self) -> float:
+        return herfindahl_index(list(self.demand_shares().values()))

@@ -1,0 +1,72 @@
+"""Unit constants and formatting for capacity arithmetic.
+
+Internally everything is SI base units: bits per second, bytes, cores.
+The paper's Table 3 reports Tbps, exabytes, and millions of cores; the
+formatters here render those.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FeasibilityError
+
+__all__ = [
+    "KBPS", "MBPS", "GBPS", "TBPS",
+    "KB", "MB", "GB", "TB", "PB", "EB",
+    "MILLION", "BILLION",
+    "format_bandwidth", "format_storage", "format_cores",
+]
+
+KBPS = 1e3
+MBPS = 1e6
+GBPS = 1e9
+TBPS = 1e12
+
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+PB = 1e15
+EB = 1e18
+
+MILLION = 1e6
+BILLION = 1e9
+
+
+def _check_non_negative(value: float, what: str) -> None:
+    if value < 0:
+        raise FeasibilityError(f"{what} cannot be negative: {value}")
+
+
+def format_bandwidth(bps: float) -> str:
+    """Render bits/second the way the paper does (e.g. '200 Tbps')."""
+    _check_non_negative(bps, "bandwidth")
+    for unit, name in ((TBPS, "Tbps"), (GBPS, "Gbps"), (MBPS, "Mbps"), (KBPS, "Kbps")):
+        if bps >= unit:
+            return f"{_trim(bps / unit)} {name}"
+    return f"{_trim(bps)} bps"
+
+
+def format_storage(bytes_: float) -> str:
+    """Render bytes the way the paper does (e.g. '80 EB')."""
+    _check_non_negative(bytes_, "storage")
+    for unit, name in ((EB, "EB"), (PB, "PB"), (TB, "TB"), (GB, "GB"), (MB, "MB")):
+        if bytes_ >= unit:
+            return f"{_trim(bytes_ / unit)} {name}"
+    return f"{_trim(bytes_)} B"
+
+
+def format_cores(cores: float) -> str:
+    """Render core counts the way the paper does (e.g. '400 M')."""
+    _check_non_negative(cores, "cores")
+    if cores >= BILLION:
+        return f"{_trim(cores / BILLION)} B"
+    if cores >= MILLION:
+        return f"{_trim(cores / MILLION)} M"
+    return _trim(cores)
+
+
+def _trim(value: float) -> str:
+    """'200' not '200.0'; keep one decimal only when informative."""
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.1f}"

@@ -1,0 +1,32 @@
+"""Cryptographic substrate: real hashing/Merkle trees, simulated signatures,
+and proof-of-work (real puzzle + analytic mining race)."""
+
+from repro.crypto.hashing import hash_int, hash_obj, sha256, sha256_hex, truncated_int
+from repro.crypto.keys import (
+    KeyPair,
+    Signature,
+    generate_keypair,
+    require_valid,
+    verify,
+)
+from repro.crypto.merkle import MerkleProof, MerkleTree, merkle_root
+from repro.crypto.pow import MiningRace, PowPuzzle, expected_block_time
+
+__all__ = [
+    "sha256",
+    "sha256_hex",
+    "hash_obj",
+    "hash_int",
+    "truncated_int",
+    "KeyPair",
+    "Signature",
+    "generate_keypair",
+    "verify",
+    "require_valid",
+    "MerkleTree",
+    "MerkleProof",
+    "merkle_root",
+    "PowPuzzle",
+    "MiningRace",
+    "expected_block_time",
+]

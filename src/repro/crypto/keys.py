@@ -1,0 +1,113 @@
+"""Simulated public-key identities and signatures.
+
+Real asymmetric cryptography would dominate simulation run time without
+changing any experiment outcome (the experiments measure protocol rounds
+and consensus behaviour, not cipher speed).  Instead, a
+:class:`KeyPair` is a deterministic pseudo-keypair:
+
+* the *public key* is ``sha256(seed)`` — an opaque 64-hex-char string, the
+  usability problem the paper's §3.1 describes;
+* a *signature* over a message is ``sha256(secret || message-hash)``, which
+  verifies only with the matching secret-derived check value.
+
+Forgery is impossible for simulation actors because secrets never leave
+the KeyPair object; an *attacker model* that "steals" a key does so by
+being handed the KeyPair explicitly, making key-compromise experiments
+first-class rather than accidental.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import CryptoError, InvalidSignatureError
+from repro.crypto.hashing import hash_obj, sha256_hex
+
+__all__ = ["KeyPair", "Signature", "verify", "generate_keypair"]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A detached signature: (public key, message hash, check value)."""
+
+    public_key: str
+    message_hash: str
+    check: str
+
+    def as_dict(self) -> dict:
+        return {
+            "public_key": self.public_key,
+            "message_hash": self.message_hash,
+            "check": self.check,
+        }
+
+
+class KeyPair:
+    """A deterministic simulated keypair.
+
+    Two KeyPairs constructed from the same seed are the same identity —
+    convenient for reproducible experiments.
+    """
+
+    def __init__(self, seed: str):
+        if not seed:
+            raise CryptoError("keypair seed must be a non-empty string")
+        self._secret = sha256_hex(f"secret:{seed}".encode("utf-8"))
+        self.public_key = sha256_hex(f"public:{self._secret}".encode("utf-8"))
+
+    def sign(self, message: Any) -> Signature:
+        """Sign any canonicalizable message object."""
+        message_hash = hash_obj(message)
+        check = sha256_hex(f"{self._secret}:{message_hash}".encode("utf-8"))
+        return Signature(self.public_key, message_hash, check)
+
+    def _expected_check(self, message_hash: str) -> str:
+        return sha256_hex(f"{self._secret}:{message_hash}".encode("utf-8"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KeyPair(pub={self.public_key[:12]}...)"
+
+
+# Registry linking public keys back to their secret-check oracles.  This is
+# the simulation stand-in for the mathematics of signature verification: a
+# verifier can check a signature knowing only the public key, because the
+# library (playing the role of "mathematics") knows the mapping.  Secrets
+# still never leave KeyPair objects, so actors cannot forge.
+_VERIFIERS: dict = {}
+
+
+def generate_keypair(seed: str) -> KeyPair:
+    """Create (or re-derive) a keypair and register its verifier."""
+    pair = KeyPair(seed)
+    _VERIFIERS[pair.public_key] = pair
+    return pair
+
+
+def verify(signature: Signature, message: Any) -> bool:
+    """Check a signature against a message.
+
+    Returns False (never raises) for wrong-message or forged signatures;
+    raises :class:`CryptoError` only for unknown public keys, which in a
+    simulation indicates a setup bug.
+    """
+    if not isinstance(signature, Signature):
+        raise CryptoError(f"not a signature: {signature!r}")
+    pair = _VERIFIERS.get(signature.public_key)
+    if pair is None:
+        raise CryptoError(
+            f"unknown public key {signature.public_key[:12]}...; "
+            "was the keypair created via generate_keypair()?"
+        )
+    message_hash = hash_obj(message)
+    if message_hash != signature.message_hash:
+        return False
+    return signature.check == pair._expected_check(message_hash)
+
+
+def require_valid(signature: Signature, message: Any) -> None:
+    """Verify or raise :class:`InvalidSignatureError`."""
+    if not verify(signature, message):
+        raise InvalidSignatureError(
+            f"signature by {signature.public_key[:12]}... does not cover message"
+        )

@@ -1,0 +1,95 @@
+"""Merkle trees with inclusion proofs.
+
+Used by the blockchain (transaction commitment in block headers) and by the
+storage proof schemes (challenge-response over file chunks).  Leaves are
+hashed with a ``leaf:`` prefix and interior nodes with a ``node:`` prefix so
+a leaf can never be replayed as an interior node (second-preimage guard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import CryptoError
+from repro.crypto.hashing import sha256_hex
+
+__all__ = ["MerkleTree", "MerkleProof", "merkle_root"]
+
+
+def _leaf_hash(data: bytes) -> str:
+    return sha256_hex(b"leaf:" + data)
+
+
+def _node_hash(left: str, right: str) -> str:
+    return sha256_hex(f"node:{left}:{right}".encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof: the leaf index and sibling hashes bottom-up.
+
+    Each step is ``(sibling_hash, sibling_is_right)``.
+    """
+
+    leaf_index: int
+    leaf_hash: str
+    path: Tuple[Tuple[str, bool], ...]
+
+    def verify(self, root: str) -> bool:
+        """Recompute the root from the leaf up and compare."""
+        current = self.leaf_hash
+        for sibling, sibling_is_right in self.path:
+            if sibling_is_right:
+                current = _node_hash(current, sibling)
+            else:
+                current = _node_hash(sibling, current)
+        return current == root
+
+
+class MerkleTree:
+    """A static Merkle tree over a sequence of byte-string leaves."""
+
+    def __init__(self, leaves: Sequence[bytes]):
+        if not leaves:
+            raise CryptoError("Merkle tree requires at least one leaf")
+        self.leaf_count = len(leaves)
+        self._levels: List[List[str]] = [[_leaf_hash(leaf) for leaf in leaves]]
+        while len(self._levels[-1]) > 1:
+            level = self._levels[-1]
+            next_level = []
+            for i in range(0, len(level), 2):
+                left = level[i]
+                # Odd node is paired with itself (Bitcoin-style padding).
+                right = level[i + 1] if i + 1 < len(level) else level[i]
+                next_level.append(_node_hash(left, right))
+            self._levels.append(next_level)
+
+    @property
+    def root(self) -> str:
+        return self._levels[-1][0]
+
+    def proof(self, index: int) -> MerkleProof:
+        """Inclusion proof for the leaf at ``index``."""
+        if not 0 <= index < self.leaf_count:
+            raise CryptoError(
+                f"leaf index {index} out of range [0, {self.leaf_count})"
+            )
+        path = []
+        i = index
+        for level in self._levels[:-1]:
+            sibling_index = i + 1 if i % 2 == 0 else i - 1
+            if sibling_index >= len(level):
+                sibling_index = i  # odd node paired with itself
+            sibling_is_right = sibling_index >= i
+            path.append((level[sibling_index], sibling_is_right))
+            i //= 2
+        return MerkleProof(index, self._levels[0][index], tuple(path))
+
+    def __len__(self) -> int:
+        return self.leaf_count
+
+
+def merkle_root(leaves: Sequence[bytes]) -> str:
+    """Convenience: the root hash of a leaf sequence."""
+    return MerkleTree(leaves).root

@@ -1,0 +1,24 @@
+"""Kademlia DHT substrate: node ids, k-bucket routing, iterative lookups."""
+
+from repro.dht.kademlia import DhtConfig, KademliaNode, build_overlay
+from repro.dht.nodeid import (
+    ID_BITS,
+    bucket_index,
+    key_for,
+    node_id_for,
+    xor_distance,
+)
+from repro.dht.routing import Contact, RoutingTable
+
+__all__ = [
+    "DhtConfig",
+    "KademliaNode",
+    "build_overlay",
+    "Contact",
+    "RoutingTable",
+    "ID_BITS",
+    "node_id_for",
+    "key_for",
+    "xor_distance",
+    "bucket_index",
+]

@@ -1,0 +1,91 @@
+"""Kademlia routing table: 160 k-buckets with least-recently-seen eviction.
+
+Buckets keep the oldest live contacts (Kademlia's anti-churn bias: nodes
+that have been up longest are most likely to stay up), so a full bucket
+only admits a new contact when a stale old one is explicitly evicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dht.nodeid import ID_BITS, bucket_index, xor_distance
+from repro.errors import DHTError
+
+__all__ = ["Contact", "RoutingTable"]
+
+
+@dataclass(frozen=True)
+class Contact:
+    """A known peer: its network name and DHT id."""
+
+    name: str
+    dht_id: int
+
+
+class RoutingTable:
+    """Per-node routing state."""
+
+    def __init__(self, own_id: int, k: int = 20):
+        if k < 1:
+            raise DHTError(f"bucket size k must be >= 1, got {k}")
+        self.own_id = own_id
+        self.k = k
+        # bucket[i] holds contacts whose distance has highest bit i,
+        # ordered oldest-first (Kademlia keeps long-lived nodes).
+        self._buckets: List[List[Contact]] = [[] for _ in range(ID_BITS)]
+        self._by_name: Dict[str, Contact] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def contacts(self) -> List[Contact]:
+        return list(self._by_name.values())
+
+    def knows(self, name: str) -> bool:
+        return name in self._by_name
+
+    def observe(self, contact: Contact) -> Optional[Contact]:
+        """Record fresh evidence that ``contact`` is alive.
+
+        Returns the least-recently-seen occupant when the bucket is full
+        (the caller should ping it and call :meth:`evict` if dead);
+        returns None when the contact was admitted or refreshed.
+        """
+        if contact.dht_id == self.own_id:
+            return None  # never track self
+        index = bucket_index(self.own_id, contact.dht_id)
+        bucket = self._buckets[index]
+        existing = self._by_name.get(contact.name)
+        if existing is not None:
+            bucket.remove(existing)
+            bucket.append(contact)  # move to tail: most recently seen
+            self._by_name[contact.name] = contact
+            return None
+        if len(bucket) < self.k:
+            bucket.append(contact)
+            self._by_name[contact.name] = contact
+            return None
+        return bucket[0]  # full: candidate for liveness check
+
+    def evict(self, name: str) -> bool:
+        """Drop a dead contact; returns True if it was present."""
+        contact = self._by_name.pop(name, None)
+        if contact is None:
+            return False
+        index = bucket_index(self.own_id, contact.dht_id)
+        self._buckets[index].remove(contact)
+        return True
+
+    def closest(self, target_id: int, count: Optional[int] = None) -> List[Contact]:
+        """The ``count`` known contacts closest to ``target_id`` by XOR."""
+        limit = count if count is not None else self.k
+        return sorted(
+            self._by_name.values(),
+            key=lambda c: xor_distance(c.dht_id, target_id),
+        )[:limit]
+
+    def bucket_sizes(self) -> List[int]:
+        """Occupancy per bucket (diagnostics)."""
+        return [len(b) for b in self._buckets]

@@ -1,0 +1,13 @@
+"""Gossip substrate: anti-entropy replication and flooding pub/sub."""
+
+from repro.gossip.antientropy import AntiEntropyNode, ReplicaStore, Versioned
+from repro.gossip.pubsub import PubSubMessage, PubSubNode, build_pubsub_overlay
+
+__all__ = [
+    "AntiEntropyNode",
+    "ReplicaStore",
+    "Versioned",
+    "PubSubMessage",
+    "PubSubNode",
+    "build_pubsub_overlay",
+]

@@ -1,0 +1,63 @@
+"""Group communication (§3.2): centralized, federated (single-home and
+replicated), and socially-aware P2P models, plus privacy auditing,
+moderation policies, and double-ratchet-style session encryption."""
+
+from repro.groupcomm.centralized import CentralizedPlatform
+from repro.groupcomm.encryption import Ciphertext, RatchetSession, SessionCompromise
+from repro.groupcomm.federated import (
+    FederationBase,
+    ReplicatedFederation,
+    SingleHomeFederation,
+)
+from repro.groupcomm.messages import Audience, Message, Room
+from repro.groupcomm.moderation import (
+    KeywordPolicy,
+    ModerationOutcome,
+    ModerationPolicy,
+    NoModeration,
+    PerInstancePolicy,
+    ReputationPolicy,
+    evaluate_policies,
+)
+from repro.groupcomm.privacy import (
+    ExposureReport,
+    audit_centralized,
+    audit_replicated_federation,
+    audit_social_p2p,
+    exposure_score,
+)
+from repro.groupcomm.repudiation import (
+    OtrConversation,
+    OtrMessage,
+    SignedConversation,
+)
+from repro.groupcomm.social_p2p import SocialP2PNetwork
+
+__all__ = [
+    "Message",
+    "Audience",
+    "Room",
+    "CentralizedPlatform",
+    "SingleHomeFederation",
+    "ReplicatedFederation",
+    "FederationBase",
+    "SocialP2PNetwork",
+    "OtrConversation",
+    "OtrMessage",
+    "SignedConversation",
+    "RatchetSession",
+    "Ciphertext",
+    "SessionCompromise",
+    "ExposureReport",
+    "audit_centralized",
+    "audit_replicated_federation",
+    "audit_social_p2p",
+    "exposure_score",
+    "ModerationPolicy",
+    "NoModeration",
+    "KeywordPolicy",
+    "ReputationPolicy",
+    "PerInstancePolicy",
+    "ModerationOutcome",
+    "evaluate_policies",
+]

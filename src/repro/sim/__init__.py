@@ -1,0 +1,40 @@
+"""Discrete-event simulation substrate.
+
+Public surface:
+
+* :class:`Simulator` — the event loop; spawn generator processes on it.
+* :class:`Process`, :class:`Signal`, :class:`Timeout`, :class:`AllOf`,
+  :class:`AnyOf`, :class:`Interrupt` — process combinators.
+* :class:`RngStreams` — named deterministic randomness.
+* :class:`Monitor`, :class:`Counter`, :class:`Sampler`,
+  :class:`TimeWeightedGauge` — measurement.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Process,
+    Signal,
+    Simulator,
+    Timeout,
+)
+from repro.sim.monitor import Counter, Monitor, Sampler, TimeWeightedGauge, summarize
+from repro.sim.rng import RngStreams, derive_seed
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Signal",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "RngStreams",
+    "derive_seed",
+    "Counter",
+    "Sampler",
+    "Monitor",
+    "TimeWeightedGauge",
+    "summarize",
+]

@@ -1,0 +1,440 @@
+"""Deterministic discrete-event simulation engine.
+
+This is the substrate every protocol simulation in the library runs on.  It
+is intentionally small: an event queue ordered by ``(time, sequence)``, plus
+a generator-based process abstraction similar in spirit to SimPy.
+
+Determinism guarantees
+----------------------
+* Events scheduled for the same instant fire in scheduling order (FIFO via a
+  monotonic sequence number), never in hash or id order.
+* All randomness used by simulations must come from
+  :class:`repro.sim.rng.RngStreams`, which derives independent seeded
+  streams by name.  The engine itself is randomness-free.
+
+Typical usage::
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(5.0)
+        print("woke at", sim.now)
+
+    sim.spawn(worker(sim))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Signal",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator when it is interrupted.
+
+    The ``cause`` attribute carries the interrupter-supplied reason.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Waitable:
+    """Base for things a process may ``yield`` on."""
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        raise NotImplementedError
+
+
+class Timeout(_Waitable):
+    """Wait for a fixed amount of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay!r}")
+        self.delay = float(delay)
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        sim.schedule(self.delay, process._resume, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay})"
+
+
+class Signal(_Waitable):
+    """A one-shot waitable event that processes can block on.
+
+    A signal starts *pending*; calling :meth:`fire` wakes every waiter with
+    the supplied value.  Waiting on an already-fired signal resumes the
+    waiter immediately (at the current instant) with the stored value.
+    """
+
+    __slots__ = ("name", "_fired", "_value", "_waiters")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._waiters: List[Tuple[Simulator, Process]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError(f"signal {self.name!r} has not fired")
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        if self._fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for sim, process in waiters:
+            sim.schedule(0.0, process._resume, value)
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        if self._fired:
+            sim.schedule(0.0, process._resume, self._value)
+        else:
+            self._waiters.append((sim, process))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self._fired else "pending"
+        return f"Signal({self.name!r}, {state})"
+
+
+class AllOf(_Waitable):
+    """Wait until every child waitable has completed.
+
+    Resumes the waiter with a list of child results in child order.
+    Children may be :class:`Signal` or :class:`Process` instances.
+    """
+
+    def __init__(self, children: Iterable[_Waitable]):
+        self.children = list(children)
+        if not self.children:
+            raise SimulationError("AllOf requires at least one child")
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        remaining = len(self.children)
+        results: List[Any] = [None] * remaining
+        done = {"n": remaining}
+
+        def make_cb(index: int) -> Callable[[Any], None]:
+            def cb(value: Any) -> None:
+                results[index] = value
+                done["n"] -= 1
+                if done["n"] == 0:
+                    sim.schedule(0.0, process._resume, list(results))
+
+            return cb
+
+        for i, child in enumerate(self.children):
+            _subscribe_callback(sim, child, make_cb(i))
+
+
+class AnyOf(_Waitable):
+    """Wait until the first child waitable completes.
+
+    Resumes the waiter with ``(index, value)`` of the first completion.
+    Later completions are ignored.
+    """
+
+    def __init__(self, children: Iterable[_Waitable]):
+        self.children = list(children)
+        if not self.children:
+            raise SimulationError("AnyOf requires at least one child")
+
+    def _subscribe(self, sim: "Simulator", process: "Process") -> None:
+        state = {"done": False}
+
+        def make_cb(index: int) -> Callable[[Any], None]:
+            def cb(value: Any) -> None:
+                if not state["done"]:
+                    state["done"] = True
+                    sim.schedule(0.0, process._resume, (index, value))
+
+            return cb
+
+        for i, child in enumerate(self.children):
+            _subscribe_callback(sim, child, make_cb(i))
+
+
+def _subscribe_callback(
+    sim: "Simulator", child: _Waitable, callback: Callable[[Any], None]
+) -> None:
+    """Attach ``callback`` to a child waitable without a waiting process."""
+    if isinstance(child, Signal):
+        if child.fired:
+            sim.schedule(0.0, callback, child.value)
+        else:
+            child._waiters.append((sim, _CallbackProcess(callback)))
+    elif isinstance(child, Process):
+        child.completion._subscribe_callback(sim, callback)
+    elif isinstance(child, Timeout):
+        sim.schedule(child.delay, callback, None)
+    else:
+        raise SimulationError(f"cannot combine waitable {child!r}")
+
+
+class _CallbackProcess:
+    """Adapter letting a plain callback sit in a Signal waiter list."""
+
+    __slots__ = ("_callback",)
+
+    def __init__(self, callback: Callable[[Any], None]):
+        self._callback = callback
+
+    def _resume(self, value: Any) -> None:
+        self._callback(value)
+
+
+class Process:
+    """A generator-based simulated process.
+
+    The generator may yield:
+
+    * a ``float``/``int`` — sleep for that many simulated seconds;
+    * a :class:`Timeout`, :class:`Signal`, :class:`AllOf`, :class:`AnyOf`;
+    * another :class:`Process` — wait for it to finish (join).
+
+    The value sent back into the generator is the result of the wait (the
+    signal's value, the joined process's return value, ``None`` for
+    timeouts).  The process's own return value (via ``return x``) becomes
+    the value of its completion signal.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__};"
+                " did you forget to call the generator function?"
+            )
+        self.sim = sim
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.completion = Signal(f"done:{self.name}")
+        self._alive = True
+        self._interrupt_pending: Optional[Interrupt] = None
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        """Return value of the finished process (raises if still running)."""
+        return self.completion.value
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resume.
+
+        Interrupting a dead process is a no-op.
+        """
+        if not self._alive:
+            return
+        self._interrupt_pending = Interrupt(cause)
+        self.sim.schedule(0.0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        if not self._alive:
+            return
+        try:
+            if self._interrupt_pending is not None:
+                exc, self._interrupt_pending = self._interrupt_pending, None
+                target = self.generator.throw(exc)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self._alive = False
+            self.completion.fire(getattr(stop, "value", None))
+            return
+        except Interrupt:
+            self._alive = False
+            self.completion.fire(None)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, (int, float)):
+            target = Timeout(target)
+        if isinstance(target, Process):
+            target = target.completion
+        if not isinstance(target, _Waitable):
+            raise SimulationError(
+                f"process {self.name!r} yielded unwaitable {target!r}"
+            )
+        target._subscribe(self.sim, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self._alive else "done"
+        return f"Process({self.name!r}, {state})"
+
+
+# Extend Signal with a callback-subscription used by AllOf/AnyOf on processes.
+def _signal_subscribe_callback(
+    self: Signal, sim: "Simulator", callback: Callable[[Any], None]
+) -> None:
+    if self._fired:
+        sim.schedule(0.0, callback, self._value)
+    else:
+        self._waiters.append((sim, _CallbackProcess(callback)))
+
+
+Signal._subscribe_callback = _signal_subscribe_callback  # type: ignore[attr-defined]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """The discrete-event simulation kernel.
+
+    Attributes
+    ----------
+    now:
+        Current simulated time in seconds.  Starts at 0.0.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[_ScheduledEvent] = []
+        self._seq = 0
+        self._running = False
+        self._processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for instrumentation)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued (including cancelled ones not yet popped)."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def schedule(
+        self, delay: float, callback: Callable, *args: Any
+    ) -> _ScheduledEvent:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns a handle whose :meth:`cancel` prevents execution.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        event = _ScheduledEvent(self.now + delay, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, when: float, callback: Callable, *args: Any
+    ) -> _ScheduledEvent:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        return self.schedule(when - self.now, callback, *args)
+
+    def timeout(self, delay: float) -> Timeout:
+        """Create a timeout waitable (sugar for ``Timeout(delay)``)."""
+        return Timeout(delay)
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a fresh one-shot signal."""
+        return Signal(name)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from a generator; it runs at the current
+        instant (before time advances)."""
+        process = Process(self, generator, name)
+        self.schedule(0.0, process._resume, None)
+        return process
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the queue empties or simulated time passes ``until``.
+
+        Returns the final simulated time.  ``max_events`` guards against
+        runaway simulations (raises :class:`SimulationError` when hit).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        try:
+            budget = max_events
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self.now = event.time
+                self._processed += 1
+                event.callback(*event.args)
+                budget -= 1
+                if budget <= 0:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_process(
+        self, generator: Generator, name: str = "", until: Optional[float] = None
+    ) -> Any:
+        """Spawn a process, run the simulation, and return the process's
+        return value.
+
+        With ``until=None`` runs until the event queue drains — only safe
+        when no perpetual background processes (miners, gossip loops) are
+        scheduled.  Pass a horizon when they are; raises if the process has
+        not finished by then.
+        """
+        process = self.spawn(generator, name)
+        if until is None:
+            self.run()
+        else:
+            while process.alive and self.now < until:
+                # Advance in slices so we stop soon after completion.
+                self.run(until=min(until, self.now + 1000.0))
+        if process.alive:
+            raise SimulationError(
+                f"process {process.name!r} did not finish"
+                + (" (deadlock?)" if until is None else f" by t={until}")
+            )
+        return process.result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulator(now={self.now}, pending={self.pending_events})"

@@ -1,0 +1,153 @@
+"""Bitswap-style pairwise barter ledgers (IPFS's incentive, Table 2).
+
+IPFS does not use a blockchain: each pair of peers keeps a *ledger* of
+bytes exchanged, and a peer stops serving ("chokes") counterparties whose
+debt ratio grows too large.  This is the one Table 2 incentive scheme
+that needs no payments at all — and it has the known weakness the
+experiments show: it polices *reciprocity*, not *storage*, so freeloaders
+are choked but data loss is invisible until retrieval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.errors import RemoteError, RpcTimeoutError, StorageError
+from repro.net.transport import Network
+from repro.storage.blob import DataBlob
+
+__all__ = ["BitswapLedger", "BitswapPeer"]
+
+
+@dataclass
+class _PairLedger:
+    """One direction-aware byte ledger for a peer pair."""
+
+    bytes_sent: int = 0       # we uploaded this many bytes to the peer
+    bytes_received: int = 0   # the peer uploaded this many bytes to us
+
+    @property
+    def debt_ratio(self) -> float:
+        """How indebted the *peer* is to us: sent / (received + 1)."""
+        return self.bytes_sent / (self.bytes_received + 1)
+
+
+class BitswapLedger:
+    """All pairwise ledgers for one peer, with the choking rule."""
+
+    def __init__(self, choke_debt_ratio: float = 2.0, grace_bytes: int = 4096):
+        if choke_debt_ratio <= 0:
+            raise StorageError("choke ratio must be positive")
+        self.choke_debt_ratio = choke_debt_ratio
+        self.grace_bytes = grace_bytes
+        self._pairs: Dict[str, _PairLedger] = {}
+
+    def pair(self, peer: str) -> _PairLedger:
+        ledger = self._pairs.get(peer)
+        if ledger is None:
+            ledger = _PairLedger()
+            self._pairs[peer] = ledger
+        return ledger
+
+    def record_sent(self, peer: str, n_bytes: int) -> None:
+        self.pair(peer).bytes_sent += n_bytes
+
+    def record_received(self, peer: str, n_bytes: int) -> None:
+        self.pair(peer).bytes_received += n_bytes
+
+    def should_serve(self, peer: str) -> bool:
+        """Tit-for-tat: serve until the peer's debt exceeds the choke
+        ratio (with a grace allowance so new peers can bootstrap)."""
+        ledger = self.pair(peer)
+        if ledger.bytes_sent <= self.grace_bytes:
+            return True
+        return ledger.debt_ratio <= self.choke_debt_ratio
+
+    def debtors(self) -> List[Tuple[str, float]]:
+        """Peers by descending debt ratio (diagnostics)."""
+        return sorted(
+            ((peer, ledger.debt_ratio) for peer, ledger in self._pairs.items()),
+            key=lambda item: -item[1],
+        )
+
+
+class BitswapPeer:
+    """A peer exchanging blob chunks under pairwise barter accounting."""
+
+    def __init__(
+        self,
+        network: Network,
+        node_id: str,
+        choke_debt_ratio: float = 2.0,
+        grace_bytes: int = 4096,
+    ):
+        self.network = network
+        self.node_id = node_id
+        if not network.has_node(node_id):
+            network.create_node(node_id)
+        self.ledger = BitswapLedger(choke_debt_ratio, grace_bytes)
+        self._blocks: Dict[str, Dict[int, bytes]] = {}
+        self.chokes_issued = 0
+        network.node(node_id).register_handler("bitswap.want", self._on_want)
+
+    # -- local store --------------------------------------------------------
+
+    def add_blob(self, blob: DataBlob) -> str:
+        self._blocks[blob.content_id] = dict(enumerate(blob.chunks))
+        return blob.content_id
+
+    def has_chunk(self, content_id: str, index: int) -> bool:
+        return index in self._blocks.get(content_id, {})
+
+    def chunk_count(self, content_id: str) -> int:
+        return len(self._blocks.get(content_id, {}))
+
+    # -- protocol --------------------------------------------------------------
+
+    def _on_want(self, node, payload: dict, sender: str):
+        content_id, index = payload["content_id"], payload["index"]
+        if not self.ledger.should_serve(sender):
+            self.chokes_issued += 1
+            raise StorageError(f"{self.node_id!r} chokes {sender!r} (debt)")
+        chunk = self._blocks.get(content_id, {}).get(index)
+        if chunk is None:
+            raise StorageError(f"{self.node_id!r} lacks chunk {index}")
+        self.ledger.record_sent(sender, len(chunk))
+        return chunk
+
+    def fetch_chunk(self, peer: str, content_id: str, index: int) -> Generator:
+        """Request one chunk; records received bytes on success."""
+        chunk = yield from self.network.rpc(
+            self.node_id, peer, "bitswap.want",
+            {"content_id": content_id, "index": index},
+            response_bytes=1024,
+        )
+        self.ledger.record_received(peer, len(chunk))
+        self._blocks.setdefault(content_id, {})[index] = chunk
+        return chunk
+
+    def fetch_blob(
+        self, peers: List[str], content_id: str, chunk_count: int
+    ) -> Generator:
+        """Fetch all chunks round-robin from peers; returns missing count.
+
+        Chokes and missing chunks are skipped (partial downloads are
+        Bitswap's normal condition, resolved by retrying elsewhere).
+        """
+        missing = 0
+        for index in range(chunk_count):
+            if self.has_chunk(content_id, index):
+                continue
+            got = False
+            for offset in range(len(peers)):
+                peer = peers[(index + offset) % len(peers)]
+                try:
+                    yield from self.fetch_chunk(peer, content_id, index)
+                    got = True
+                    break
+                except (RemoteError, RpcTimeoutError):
+                    continue
+            if not got:
+                missing += 1
+        return missing

@@ -1,0 +1,93 @@
+"""Data blobs: chunked, content-addressed, Merkle-committed.
+
+The unit of storage throughout §3.3's systems.  Chunks are real bytes —
+storage proofs (:mod:`repro.storage.proofs`) challenge actual chunk data
+against the Merkle commitment, so a provider that drops bytes genuinely
+cannot answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.crypto.hashing import sha256_hex
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.errors import StorageError
+from repro.sim.rng import RngStreams
+
+__all__ = ["DataBlob", "make_random_blob"]
+
+DEFAULT_CHUNK_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class DataBlob:
+    """An immutable chunked blob with its Merkle commitment."""
+
+    chunks: Tuple[bytes, ...]
+    chunk_size: int
+
+    def __post_init__(self) -> None:
+        if not self.chunks:
+            raise StorageError("a blob needs at least one chunk")
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(len(c) for c in self.chunks)
+
+    @property
+    def content_id(self) -> str:
+        """The content address (hash of all chunk hashes, order-sensitive)."""
+        return sha256_hex(
+            ":".join(sha256_hex(c) for c in self.chunks).encode("utf-8")
+        )
+
+    @property
+    def merkle_root(self) -> str:
+        return self._tree().root
+
+    def _tree(self) -> MerkleTree:
+        return MerkleTree(list(self.chunks))
+
+    def proof_for(self, index: int) -> MerkleProof:
+        return self._tree().proof(index)
+
+    def verify_chunk(self, index: int, chunk: bytes, proof: MerkleProof) -> bool:
+        """Does (chunk, proof) open the commitment at this index?"""
+        if proof.leaf_index != index:
+            return False
+        from repro.crypto.merkle import _leaf_hash
+
+        if proof.leaf_hash != _leaf_hash(chunk):
+            return False
+        return proof.verify(self.merkle_root)
+
+    @staticmethod
+    def from_bytes(data: bytes, chunk_size: int = DEFAULT_CHUNK_SIZE) -> "DataBlob":
+        if not data:
+            raise StorageError("cannot make a blob from empty data")
+        if chunk_size <= 0:
+            raise StorageError(f"chunk size must be positive: {chunk_size}")
+        chunks = tuple(
+            data[i:i + chunk_size] for i in range(0, len(data), chunk_size)
+        )
+        return DataBlob(chunks=chunks, chunk_size=chunk_size)
+
+    def to_bytes(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+def make_random_blob(
+    streams: RngStreams,
+    size_bytes: int,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    name: str = "blob",
+) -> DataBlob:
+    """A reproducible random blob (incompressible: generation attacks on
+    it cannot cheat by re-deriving content)."""
+    if size_bytes <= 0:
+        raise StorageError(f"blob size must be positive: {size_bytes}")
+    rng = streams.stream(f"blob.{name}")
+    data = bytes(rng.getrandbits(8) for _ in range(size_bytes))
+    return DataBlob.from_bytes(data, chunk_size)

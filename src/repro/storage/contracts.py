@@ -1,0 +1,188 @@
+"""Storage deals and payment rails.
+
+The paper's Table 2 observation: most decentralized storage systems use a
+blockchain to record contracts and move payments, while IPFS/MaidSafe use
+direct pairwise accounting.  Both rails are implemented behind one
+interface so the marketplace and the incentive experiments can swap them:
+
+* :class:`DirectLedger` — instant pairwise balances (Bitswap-ledger-like);
+* :class:`ChainRail` — escrowed on-chain contracts
+  (:mod:`repro.chain.ledger`'s CONTRACT_OPEN/CLOSE), paying the
+  confirmation-latency cost the paper attributes to blockchains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional
+
+from repro.errors import ContractError
+from repro.storage.proofs import Commitment
+
+__all__ = ["DealState", "StorageDeal", "DirectLedger", "ChainRail"]
+
+
+class DealState:
+    ACTIVE = "active"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class StorageDeal:
+    """One storage agreement between a consumer and a provider."""
+
+    deal_id: str
+    consumer: str
+    provider_id: str
+    commitment: Commitment
+    size_bytes: int
+    price_per_epoch: float
+    epochs_total: int
+    proof_kind: str
+    state: str = DealState.ACTIVE
+    epochs_paid: int = 0
+    epochs_failed: int = 0
+
+    @property
+    def total_price(self) -> float:
+        return self.price_per_epoch * self.epochs_total
+
+    @property
+    def remaining_escrow(self) -> float:
+        return self.total_price - self.epochs_paid * self.price_per_epoch
+
+
+class DirectLedger:
+    """Instant pairwise balances: the no-blockchain rail."""
+
+    def __init__(self) -> None:
+        self._balances: Dict[str, float] = {}
+        self._escrow: Dict[str, float] = {}
+
+    def credit(self, account: str, amount: float) -> None:
+        if amount < 0:
+            raise ContractError(f"cannot credit negative amount {amount}")
+        self._balances[account] = self._balances.get(account, 0.0) + amount
+
+    def balance(self, account: str) -> float:
+        return self._balances.get(account, 0.0)
+
+    def escrowed(self, deal_id: str) -> float:
+        return self._escrow.get(deal_id, 0.0)
+
+    def open_escrow(
+        self, deal_id: str, consumer: str, amount: float, provider: str = ""
+    ) -> Generator:
+        """Lock consumer funds for a deal (instant; generator for rail
+        interface uniformity).  ``provider`` is unused on this rail."""
+        if self._balances.get(consumer, 0.0) < amount:
+            raise ContractError(
+                f"{consumer!r} cannot escrow {amount}: balance"
+                f" {self._balances.get(consumer, 0.0)}"
+            )
+        if deal_id in self._escrow:
+            raise ContractError(f"escrow for {deal_id!r} already open")
+        self._balances[consumer] -= amount
+        self._escrow[deal_id] = amount
+        if False:  # pragma: no cover - generator-shape marker
+            yield
+        return deal_id
+
+    def pay_from_escrow(self, deal_id: str, provider: str, amount: float) -> None:
+        held = self._escrow.get(deal_id, 0.0)
+        if held + 1e-9 < amount:
+            raise ContractError(
+                f"escrow {deal_id!r} holds {held}, cannot pay {amount}"
+            )
+        self._escrow[deal_id] = held - amount
+        self.credit(provider, amount)
+
+    def refund_escrow(self, deal_id: str, consumer: str) -> float:
+        held = self._escrow.pop(deal_id, 0.0)
+        self.credit(consumer, held)
+        return held
+
+    def total_supply(self) -> float:
+        return sum(self._balances.values()) + sum(self._escrow.values())
+
+
+class ChainRail:
+    """Escrow and settlement on the simulated blockchain.
+
+    Slower (confirmation latency) but auditable by every participant —
+    the trade Table 2's blockchain-using systems make.
+    """
+
+    def __init__(self, chain_network, reference, keypairs: Dict[str, Any],
+                 confirmations: int = 3, fee: float = 0.05):
+        self.chain = chain_network
+        self.reference = reference
+        self.keypairs = dict(keypairs)  # account name -> KeyPair
+        self.confirmations = confirmations
+        self.fee = fee
+
+    def balance(self, account: str) -> float:
+        keypair = self._keypair(account)
+        return self.reference.chain.state_at().balance(keypair.public_key)
+
+    def _keypair(self, account: str):
+        keypair = self.keypairs.get(account)
+        if keypair is None:
+            raise ContractError(f"no keypair registered for {account!r}")
+        return keypair
+
+    def _submit_and_wait(self, tx) -> Generator:
+        from repro.chain.transaction import Transaction  # typing only
+
+        self.chain.submit_transaction(tx, origin=self.reference.name)
+        poll = self.chain.params.target_block_interval / 4
+        deadline = self.reference.chain.height + 100
+        while True:
+            yield poll
+            height = self.reference.chain.find_transaction(tx.txid)
+            if height is not None:
+                if self.reference.chain.height - height + 1 >= self.confirmations:
+                    return height
+            elif self.reference.chain.height > deadline:
+                raise ContractError(f"tx {tx.txid[:12]} never confirmed")
+
+    def open_escrow(
+        self, deal_id: str, consumer: str, amount: float, provider: str = ""
+    ) -> Generator:
+        from repro.chain.transaction import TxKind, make_transaction
+
+        keypair = self._keypair(consumer)
+        provider_keypair = self._keypair(provider) if provider else keypair
+        state = self.reference.chain.state_at()
+        tx = make_transaction(
+            keypair,
+            TxKind.CONTRACT_OPEN,
+            {
+                "contract_id": deal_id,
+                "provider": provider_keypair.public_key,
+                "escrow": amount,
+                "terms": {"deal_id": deal_id},
+            },
+            state.next_nonce(keypair.public_key),
+            fee=self.fee,
+        )
+        yield from self._submit_and_wait(tx)
+        return deal_id
+
+    def close_with_share(
+        self, deal_id: str, consumer: str, provider_share: float
+    ) -> Generator:
+        from repro.chain.transaction import TxKind, make_transaction
+
+        keypair = self._keypair(consumer)
+        state = self.reference.chain.state_at()
+        tx = make_transaction(
+            keypair,
+            TxKind.CONTRACT_CLOSE,
+            {"contract_id": deal_id, "provider_share": provider_share},
+            state.next_nonce(keypair.public_key),
+            fee=self.fee,
+        )
+        yield from self._submit_and_wait(tx)
+        return deal_id

@@ -1,0 +1,207 @@
+"""Systematic Reed-Solomon erasure coding over GF(256).
+
+A real, decodable implementation (not availability bookkeeping): data is
+split into ``k`` shards, ``m`` parity shards are computed from a
+Vandermonde generator matrix, and *any* ``k`` of the ``n = k + m`` shards
+reconstruct the original via Gaussian elimination in GF(256).
+
+Used by the storage placement layer: replication stores ``r`` full copies
+(storage factor r), erasure coding stores ``n/k`` x the data for the same
+failure tolerance — the durability-vs-overhead trade the distributed
+storage literature cited in §3.3 revolves around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+
+__all__ = ["Shard", "ErasureCode"]
+
+# -- GF(256) arithmetic --------------------------------------------------------
+# Polynomial 0x11d (x^8+x^4+x^3+x^2+1), the standard Reed-Solomon choice:
+# alpha = 2 is primitive there (it is NOT under AES's 0x11b, where 2 has
+# multiplicative order 51 and Vandermonde rows degenerate).
+
+_EXP = [0] * 512
+_LOG = [0] * 256
+
+
+def _init_tables() -> None:
+    x = 1
+    for i in range(255):
+        _EXP[i] = x
+        _LOG[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= 0x11D
+    for i in range(255, 512):
+        _EXP[i] = _EXP[i - 255]
+
+
+_init_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    if a == 0:
+        raise StorageError("zero has no inverse in GF(256)")
+    return _EXP[255 - _LOG[a]]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One erasure-coded fragment: its index and payload bytes."""
+
+    index: int
+    payload: bytes
+
+
+class ErasureCode:
+    """A systematic (k, m) Reed-Solomon code.
+
+    Shards 0..k-1 are the data shards (plain slices); shards k..k+m-1 are
+    parity.  ``storage_overhead`` is (k+m)/k.
+    """
+
+    def __init__(self, k: int, m: int):
+        if k < 1 or m < 0:
+            raise StorageError(f"invalid code parameters k={k}, m={m}")
+        if k + m > 255:
+            raise StorageError(f"k+m must be <= 255 for GF(256): {k + m}")
+        self.k = k
+        self.m = m
+
+    @property
+    def n(self) -> int:
+        return self.k + self.m
+
+    @property
+    def storage_overhead(self) -> float:
+        return self.n / self.k
+
+    # -- encoding ------------------------------------------------------------
+
+    def _parity_row(self, parity_index: int) -> List[int]:
+        """Row of the Vandermonde generator for one parity shard:
+        coefficients alpha^(p*j) with alpha = generator 2."""
+        p = parity_index + 1  # 1-based so row 0 isn't all-ones^0 degenerate
+        return [_EXP[(p * j) % 255] for j in range(self.k)]
+
+    def encode(self, data: bytes) -> List[Shard]:
+        """Split ``data`` into k shards and add m parity shards.
+
+        Data is padded to a multiple of k; the original length rides in a
+        4-byte header so decode can strip the padding exactly.
+        """
+        if not data:
+            raise StorageError("cannot encode empty data")
+        framed = len(data).to_bytes(4, "big") + data
+        shard_len = -(-len(framed) // self.k)
+        padded = framed.ljust(shard_len * self.k, b"\x00")
+        data_shards = [
+            padded[i * shard_len:(i + 1) * shard_len] for i in range(self.k)
+        ]
+        shards = [Shard(i, data_shards[i]) for i in range(self.k)]
+        for p in range(self.m):
+            row = self._parity_row(p)
+            payload = bytearray(shard_len)
+            for j, shard in enumerate(data_shards):
+                coefficient = row[j]
+                if coefficient == 0:
+                    continue
+                log_c = _LOG[coefficient]
+                for byte_index, byte in enumerate(shard):
+                    if byte:
+                        payload[byte_index] ^= _EXP[log_c + _LOG[byte]]
+            shards.append(Shard(self.k + p, bytes(payload)))
+        return shards
+
+    # -- decoding --------------------------------------------------------------
+
+    def decode(self, shards: Sequence[Shard]) -> bytes:
+        """Reconstruct the original data from any k distinct shards."""
+        unique: Dict[int, Shard] = {}
+        for shard in shards:
+            if not 0 <= shard.index < self.n:
+                raise StorageError(f"shard index {shard.index} out of range")
+            unique.setdefault(shard.index, shard)
+        if len(unique) < self.k:
+            raise StorageError(
+                f"need {self.k} shards to decode, have {len(unique)}"
+            )
+        chosen = [unique[i] for i in sorted(unique)][: self.k]
+        shard_len = len(chosen[0].payload)
+        if any(len(s.payload) != shard_len for s in chosen):
+            raise StorageError("inconsistent shard lengths")
+
+        # Build the k x k system: row per chosen shard expressing it as a
+        # combination of the k data shards.
+        matrix: List[List[int]] = []
+        values: List[bytes] = []
+        for shard in chosen:
+            if shard.index < self.k:
+                row = [0] * self.k
+                row[shard.index] = 1
+            else:
+                row = self._parity_row(shard.index - self.k)
+            matrix.append(row)
+            values.append(shard.payload)
+
+        data_shards = self._solve(matrix, values, shard_len)
+        framed = b"".join(data_shards)
+        original_len = int.from_bytes(framed[:4], "big")
+        if original_len > len(framed) - 4:
+            raise StorageError("corrupt shards: bad length header")
+        return framed[4:4 + original_len]
+
+    def _solve(
+        self, matrix: List[List[int]], values: List[bytes], shard_len: int
+    ) -> List[bytes]:
+        """Gaussian elimination in GF(256), vectorized over byte positions."""
+        k = self.k
+        m = [row[:] for row in matrix]
+        v = [bytearray(value) for value in values]
+        for col in range(k):
+            pivot = next(
+                (r for r in range(col, k) if m[r][col] != 0), None
+            )
+            if pivot is None:
+                raise StorageError("singular shard combination (duplicate?)")
+            m[col], m[pivot] = m[pivot], m[col]
+            v[col], v[pivot] = v[pivot], v[col]
+            inv = gf_inv(m[col][col])
+            if inv != 1:
+                log_inv = _LOG[inv]
+                m[col] = [
+                    _EXP[log_inv + _LOG[x]] if x else 0 for x in m[col]
+                ]
+                v[col] = bytearray(
+                    _EXP[log_inv + _LOG[b]] if b else 0 for b in v[col]
+                )
+            for r in range(k):
+                if r == col or m[r][col] == 0:
+                    continue
+                factor = m[r][col]
+                log_f = _LOG[factor]
+                m[r] = [
+                    x ^ (_EXP[log_f + _LOG[y]] if y else 0)
+                    for x, y in zip(m[r], m[col])
+                ]
+                pivot_row = v[col]
+                row = v[r]
+                for i in range(shard_len):
+                    y = pivot_row[i]
+                    if y:
+                        row[i] ^= _EXP[log_f + _LOG[y]]
+        return [bytes(v[i]) for i in range(k)]
+
+    def min_shards_for_recovery(self) -> int:
+        return self.k

@@ -1,0 +1,140 @@
+"""'Guerrilla' storage: encrypted services on untrusted clouds (§5.3).
+
+The paper's hard problem of *decoupling authority from infrastructure*
+suggests "running encrypted services on the cloud": keep using the feudal
+provider's machines but deny it authority over the data.  This module
+makes the resulting security split measurable:
+
+* **confidentiality / integrity move to the user** — the provider stores
+  only ciphertext (keystream encryption keyed by the user) with a MAC, so
+  :meth:`CloudProvider.surveil` yields nothing readable, and any
+  tampering is detected on read;
+* **availability stays feudal** — the provider can still censor or delete
+  (:meth:`CloudProvider.censor`), exactly the residual power the paper
+  says purely-technical decoupling cannot remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.crypto.hashing import sha256, sha256_hex
+from repro.errors import AccessDeniedError, CryptoError, RemoteError, StorageError
+from repro.net.node import NodeClass
+from repro.net.transport import Network
+
+__all__ = ["CloudProvider", "EncryptedCloudClient"]
+
+
+def _keystream(key: str, name: str, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(sha256(f"guerrilla:{key}:{name}:{counter}".encode("utf-8")))
+        counter += 1
+    return bytes(out[:length])
+
+
+def _mac(key: str, name: str, ciphertext: bytes) -> str:
+    return sha256_hex(
+        f"mac:{key}:{name}:".encode("utf-8") + ciphertext
+    )
+
+
+class CloudProvider:
+    """The feudal substrate: a blob server that can snoop, tamper, censor."""
+
+    def __init__(self, network: Network, provider_id: str = "cloud"):
+        self.network = network
+        self.provider_id = provider_id
+        self.node = (
+            network.node(provider_id)
+            if network.has_node(provider_id)
+            else network.create_node(provider_id, node_class=NodeClass.DATACENTER)
+        )
+        self._objects: Dict[str, bytes] = {}
+        self._censored: set = set()
+        self.node.register_handler("cloud.put", self._on_put)
+        self.node.register_handler("cloud.get", self._on_get)
+
+    def _on_put(self, node, payload: dict, sender: str) -> bool:
+        self._objects[payload["name"]] = payload["data"]
+        return True
+
+    def _on_get(self, node, payload: dict, sender: str) -> bytes:
+        name = payload["name"]
+        if name in self._censored:
+            raise AccessDeniedError(f"object {name!r} unavailable (censored)")
+        data = self._objects.get(name)
+        if data is None:
+            raise StorageError(f"no object {name!r}")
+        return data
+
+    # -- feudal powers -------------------------------------------------------
+
+    def surveil(self) -> Dict[str, bytes]:
+        """Everything the operator can read: raw stored bytes."""
+        return dict(self._objects)
+
+    def tamper(self, name: str, new_data: bytes) -> None:
+        if name not in self._objects:
+            raise StorageError(f"no object {name!r}")
+        self._objects[name] = new_data
+
+    def censor(self, name: str) -> None:
+        """Withhold an object: the availability power encryption cannot
+        take away."""
+        self._censored.add(name)
+
+
+class EncryptedCloudClient:
+    """A user keeping authority over data stored on a feudal provider."""
+
+    def __init__(self, network: Network, client_id: str, provider: CloudProvider,
+                 secret: str):
+        if not secret:
+            raise CryptoError("client needs a non-empty secret")
+        self.network = network
+        self.client_id = client_id
+        if not network.has_node(client_id):
+            network.create_node(client_id)
+        self.provider = provider
+        self._secret = secret
+
+    def _seal(self, name: str, data: bytes) -> bytes:
+        stream = _keystream(self._secret, name, len(data))
+        ciphertext = bytes(a ^ b for a, b in zip(data, stream))
+        tag = _mac(self._secret, name, ciphertext)
+        return tag.encode("ascii") + ciphertext
+
+    def _open(self, name: str, sealed: bytes) -> bytes:
+        if len(sealed) < 64:
+            raise CryptoError("sealed object too short to hold a MAC")
+        tag, ciphertext = sealed[:64].decode("ascii"), sealed[64:]
+        if _mac(self._secret, name, ciphertext) != tag:
+            raise CryptoError(
+                f"object {name!r} failed integrity check (tampered?)"
+            )
+        stream = _keystream(self._secret, name, len(ciphertext))
+        return bytes(a ^ b for a, b in zip(ciphertext, stream))
+
+    def put(self, name: str, data: bytes) -> Generator:
+        sealed = self._seal(name, data)
+        ok = yield from self.network.rpc(
+            self.client_id, self.provider.provider_id, "cloud.put",
+            {"name": name, "data": sealed}, size_bytes=len(sealed),
+        )
+        return ok
+
+    def get(self, name: str) -> Generator:
+        """Fetch and open; raises :class:`CryptoError` on tampering and
+        propagates :class:`AccessDeniedError` on censorship."""
+        try:
+            sealed = yield from self.network.rpc(
+                self.client_id, self.provider.provider_id, "cloud.get",
+                {"name": name},
+            )
+        except RemoteError as exc:
+            raise exc.remote_exception
+        return self._open(name, sealed)

@@ -1,0 +1,265 @@
+"""The storage proof systems of Table 2 as challenge-response games.
+
+Each verifier holds only a commitment (Merkle root + chunk count) and
+challenges providers over the network:
+
+* **Proof-of-Storage** (Sia's contract checks, Swarm's SWEAR): random
+  chunk index; the answer must open the Merkle commitment.  A provider
+  missing fraction ``f`` of chunks fails each round with probability
+  ~``f`` — soundness grows exponentially in rounds.
+* **Proof-of-Retrievability** (Storj): sample ``s`` indices per round;
+  additionally the client periodically retrieves and reassembles, so
+  "stores but won't serve" is also caught.
+* **Proof-of-Replication** (Filecoin): challenge *sealed* replicas under
+  a response deadline.  A dedup cheater re-seals on demand and busts the
+  deadline; an honest replica answers in one disk read.
+* **Proof-of-Spacetime** (Filecoin): PoRep repeated on a schedule; the
+  record of passed epochs is the spacetime proof.
+
+Outcomes report both correctness failures and deadline violations, so
+experiments can separate "didn't have the data" from "had to cheat slowly".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.crypto.merkle import MerkleProof, _leaf_hash
+from repro.errors import RemoteError, RpcTimeoutError, StorageError
+from repro.net.transport import Network
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "Commitment",
+    "ChallengeOutcome",
+    "ProofRoundReport",
+    "StorageVerifier",
+    "SpacetimeRecord",
+]
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """What the verifier remembers about stored data: O(1) state."""
+
+    root: str
+    chunk_count: int
+
+    def verify_answer(self, index: int, chunk: bytes, proof: MerkleProof) -> bool:
+        if proof.leaf_index != index:
+            return False
+        if proof.leaf_hash != _leaf_hash(chunk):
+            return False
+        return proof.verify(self.root)
+
+
+@dataclass(frozen=True)
+class ChallengeOutcome:
+    """One challenge: did it verify, and how fast was the answer."""
+
+    index: int
+    ok: bool
+    response_time: float
+    deadline_met: bool
+    reason: str = ""
+
+
+@dataclass
+class ProofRoundReport:
+    """Aggregate over a round of challenges."""
+
+    outcomes: List[ChallengeOutcome] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(o.ok and o.deadline_met for o in self.outcomes)
+
+    @property
+    def correctness_failures(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    @property
+    def deadline_violations(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok and not o.deadline_met)
+
+
+@dataclass
+class SpacetimeRecord:
+    """The proof-of-spacetime ledger: which epochs a provider proved."""
+
+    provider: str
+    commitment_root: str
+    epochs_proved: List[float] = field(default_factory=list)
+    epochs_failed: List[float] = field(default_factory=list)
+
+    @property
+    def uptime_fraction(self) -> float:
+        total = len(self.epochs_proved) + len(self.epochs_failed)
+        return len(self.epochs_proved) / total if total else 0.0
+
+
+class StorageVerifier:
+    """Client-side prover-auditor bound to a network node."""
+
+    def __init__(
+        self,
+        network: Network,
+        client_id: str,
+        streams: RngStreams,
+        response_deadline: float = 0.5,
+        rpc_timeout: float = 30.0,
+    ):
+        if response_deadline <= 0:
+            raise StorageError("response deadline must be positive")
+        self.network = network
+        self.client_id = client_id
+        if not network.has_node(client_id):
+            network.create_node(client_id)
+        self.response_deadline = response_deadline
+        self.rpc_timeout = rpc_timeout
+        self._rng = streams.stream(f"verifier.{client_id}")
+
+    # -- single challenge -------------------------------------------------------
+
+    def challenge_once(
+        self, provider_id: str, commitment: Commitment, index: Optional[int] = None
+    ) -> Generator:
+        """Challenge one chunk; returns a :class:`ChallengeOutcome`."""
+        if index is None:
+            index = self._rng.randrange(commitment.chunk_count)
+        start = self.network.sim.now
+        try:
+            chunk, proof = yield from self.network.rpc(
+                self.client_id,
+                provider_id,
+                "store.challenge",
+                {"commitment_id": commitment.root, "index": index},
+                timeout=self.rpc_timeout,
+            )
+        except (RpcTimeoutError, RemoteError) as exc:
+            return ChallengeOutcome(
+                index=index,
+                ok=False,
+                response_time=self.network.sim.now - start,
+                deadline_met=False,
+                reason=type(exc).__name__,
+            )
+        elapsed = self.network.sim.now - start
+        ok = commitment.verify_answer(index, chunk, proof)
+        return ChallengeOutcome(
+            index=index,
+            ok=ok,
+            response_time=elapsed,
+            deadline_met=elapsed <= self.response_deadline,
+            reason="" if ok else "bad-proof",
+        )
+
+    # -- proof-of-storage ----------------------------------------------------------
+
+    def proof_of_storage(
+        self, provider_id: str, commitment: Commitment, rounds: int = 1
+    ) -> Generator:
+        """``rounds`` independent random-chunk challenges."""
+        report = ProofRoundReport()
+        for _ in range(rounds):
+            outcome = yield from self.challenge_once(provider_id, commitment)
+            report.outcomes.append(outcome)
+        return report
+
+    # -- proof-of-retrievability ------------------------------------------------------
+
+    def proof_of_retrievability(
+        self,
+        provider_id: str,
+        commitment: Commitment,
+        sample_size: int = 4,
+    ) -> Generator:
+        """Sample several distinct chunks in one audit; all must verify."""
+        count = min(sample_size, commitment.chunk_count)
+        indices = self._rng.sample(range(commitment.chunk_count), count)
+        report = ProofRoundReport()
+        for index in indices:
+            outcome = yield from self.challenge_once(
+                provider_id, commitment, index
+            )
+            report.outcomes.append(outcome)
+        return report
+
+    def retrieve_all(
+        self, provider_id: str, commitment: Commitment
+    ) -> Generator:
+        """Full retrieval + verification: the ultimate retrievability test.
+
+        Returns the chunk list; raises :class:`StorageError` if any chunk
+        is missing or fails verification.
+        """
+        chunks: List[bytes] = []
+        for index in range(commitment.chunk_count):
+            try:
+                chunk, proof = yield from self.network.rpc(
+                    self.client_id,
+                    provider_id,
+                    "store.get",
+                    {"commitment_id": commitment.root, "index": index},
+                    timeout=self.rpc_timeout,
+                )
+            except (RpcTimeoutError, RemoteError) as exc:
+                raise StorageError(
+                    f"retrieval of chunk {index} failed: {exc}"
+                ) from exc
+            if not commitment.verify_answer(index, chunk, proof):
+                raise StorageError(f"chunk {index} failed verification")
+            chunks.append(chunk)
+        return chunks
+
+    # -- proof-of-replication ------------------------------------------------------------
+
+    def proof_of_replication(
+        self,
+        provider_id: str,
+        sealed_commitments: List[Commitment],
+        challenges_per_replica: int = 1,
+    ) -> Generator:
+        """Challenge every claimed sealed replica under the deadline.
+
+        Distinct sealed commitments have distinct roots, so byte-identical
+        answers cannot be shared between replicas; a provider holding one
+        physical copy must re-seal per challenge and blows the deadline.
+        Returns ``{replica_root: ProofRoundReport}``.
+        """
+        reports: Dict[str, ProofRoundReport] = {}
+        for commitment in sealed_commitments:
+            report = ProofRoundReport()
+            for _ in range(challenges_per_replica):
+                outcome = yield from self.challenge_once(provider_id, commitment)
+                report.outcomes.append(outcome)
+            reports[commitment.root] = report
+        return reports
+
+    # -- proof-of-spacetime ----------------------------------------------------------------
+
+    def proof_of_spacetime(
+        self,
+        provider_id: str,
+        commitment: Commitment,
+        epochs: int,
+        epoch_length: float,
+        record: Optional[SpacetimeRecord] = None,
+    ) -> Generator:
+        """Run one challenge per epoch for ``epochs`` epochs.
+
+        Returns the :class:`SpacetimeRecord` — continuous storage over time
+        is exactly what the accumulated pass/fail history attests.
+        """
+        if record is None:
+            record = SpacetimeRecord(provider=provider_id, commitment_root=commitment.root)
+        for _ in range(epochs):
+            outcome = yield from self.challenge_once(provider_id, commitment)
+            now = self.network.sim.now
+            if outcome.ok and outcome.deadline_met:
+                record.epochs_proved.append(now)
+            else:
+                record.epochs_failed.append(now)
+            yield epoch_length
+        return record

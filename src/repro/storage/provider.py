@@ -1,0 +1,226 @@
+"""Storage providers: the nodes that hold chunks and answer challenges.
+
+An honest provider stores every (chunk, Merkle-proof) pair it accepted and
+answers a challenge after one simulated disk read.  The §3.3 attacker
+behaviours are explicit modes:
+
+* ``drop_fraction`` — quietly discard a fraction of chunks (hoping audits
+  miss them);
+* ``outsource_from`` — the Outsourcing Attack: store nothing, fetch from
+  another provider when challenged (pays an extra network round trip);
+* ``reseal_backing`` — the Sybil/dedup attack against proof-of-
+  replication: keep one unsealed physical copy and recompute sealed
+  chunks on demand (pays ``seal_time`` per challenged chunk).
+
+Every dishonest mode still produces *byte-correct* answers when it can —
+detection is therefore probabilistic (missing chunks) or timing-based
+(deadlines), exactly the soundness structure of the real proof systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.crypto.merkle import MerkleProof
+from repro.errors import ProofFailedError, StorageError
+from repro.net.node import NodeClass
+from repro.net.transport import Network
+from repro.storage.blob import DataBlob
+from repro.storage.sealing import seal_chunk
+
+__all__ = ["StorageProvider", "StoredCommitment"]
+
+
+@dataclass
+class StoredCommitment:
+    """One commitment a provider claims to hold."""
+
+    commitment_id: str  # the (sealed) Merkle root
+    chunk_count: int
+    proofs: Dict[int, MerkleProof] = field(default_factory=dict)
+    payloads: Dict[int, bytes] = field(default_factory=dict)
+    # Sybil/dedup cheat: derive sealed payloads on demand from an unsealed
+    # backing blob instead of storing them.
+    reseal_backing: Optional[Tuple[DataBlob, str]] = None  # (blob, replica_id)
+    # Outsourcing cheat: fetch payloads from this provider when challenged.
+    outsource_from: Optional[str] = None
+
+    @property
+    def physically_stored_bytes(self) -> int:
+        return sum(len(p) for p in self.payloads.values())
+
+
+class StorageProvider:
+    """A provider bound to a network node."""
+
+    def __init__(
+        self,
+        network: Network,
+        node_id: str,
+        capacity_bytes: float = 1e12,
+        price_per_gb_epoch: float = 0.01,
+        read_time: float = 0.005,
+        seal_time: float = 0.5,
+        node_class: str = NodeClass.PERSONAL_COMPUTER,
+    ):
+        self.network = network
+        self.node_id = node_id
+        self.node = (
+            network.node(node_id)
+            if network.has_node(node_id)
+            else network.create_node(node_id, node_class=node_class)
+        )
+        self.capacity_bytes = capacity_bytes
+        self.price_per_gb_epoch = price_per_gb_epoch
+        self.read_time = read_time
+        self.seal_time = seal_time
+        self.commitments: Dict[str, StoredCommitment] = {}
+        self.challenges_answered = 0
+        self.challenges_failed = 0
+        self.node.register_handler("store.put", self._on_put)
+        self.node.register_handler("store.get", self._on_get)
+        self.node.register_handler("store.challenge", self._on_challenge)
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(
+            c.physically_stored_bytes for c in self.commitments.values()
+        )
+
+    def has_capacity_for(self, size_bytes: float) -> bool:
+        return self.used_bytes + size_bytes <= self.capacity_bytes
+
+    # -- ingest ------------------------------------------------------------
+
+    def accept_blob(self, blob: DataBlob, commitment_id: Optional[str] = None) -> str:
+        """Store a full blob honestly (local call used by placement)."""
+        root = commitment_id or blob.merkle_root
+        stored = StoredCommitment(commitment_id=root, chunk_count=len(blob.chunks))
+        for index, chunk in enumerate(blob.chunks):
+            stored.proofs[index] = blob.proof_for(index)
+            stored.payloads[index] = chunk
+        if not self.has_capacity_for(stored.physically_stored_bytes):
+            raise StorageError(f"provider {self.node_id!r} out of capacity")
+        self.commitments[root] = stored
+        return root
+
+    def _on_put(self, node, payload: dict, sender: str) -> bool:
+        commitment_id = payload["commitment_id"]
+        stored = self.commitments.get(commitment_id)
+        if stored is None:
+            stored = StoredCommitment(
+                commitment_id=commitment_id, chunk_count=payload["chunk_count"]
+            )
+            self.commitments[commitment_id] = stored
+        for index, chunk, proof in payload["entries"]:
+            stored.proofs[index] = proof
+            stored.payloads[index] = chunk
+        return True
+
+    def _on_get(self, node, payload: dict, sender: str) -> Generator:
+        commitment_id, index = payload["commitment_id"], payload["index"]
+        yield self.read_time
+        answer = yield from self._produce(commitment_id, index)
+        return answer
+
+    def _on_challenge(self, node, payload: dict, sender: str) -> Generator:
+        commitment_id, index = payload["commitment_id"], payload["index"]
+        yield self.read_time
+        try:
+            answer = yield from self._produce(commitment_id, index)
+        except StorageError:
+            self.challenges_failed += 1
+            raise
+        self.challenges_answered += 1
+        return answer
+
+    def _produce(self, commitment_id: str, index: int) -> Generator:
+        """Yield-able chunk production honoring the configured cheat mode."""
+        stored = self.commitments.get(commitment_id)
+        if stored is None:
+            raise StorageError(
+                f"provider {self.node_id!r} holds no commitment"
+                f" {commitment_id[:12]}"
+            )
+        proof = stored.proofs.get(index)
+        if proof is None:
+            raise StorageError(f"no proof for chunk {index}")
+        payload = stored.payloads.get(index)
+        if payload is not None:
+            return (payload, proof)
+        if stored.reseal_backing is not None:
+            blob, replica_id = stored.reseal_backing
+            if index >= len(blob.chunks):
+                raise StorageError(f"chunk {index} out of range")
+            yield self.seal_time  # the expensive on-demand re-seal
+            return (seal_chunk(blob.chunks[index], replica_id, index), proof)
+        if stored.outsource_from is not None:
+            answer = yield from self.network.rpc(
+                self.node_id,
+                stored.outsource_from,
+                "store.get",
+                {"commitment_id": commitment_id, "index": index},
+                timeout=30.0,
+            )
+            return answer
+        raise StorageError(
+            f"provider {self.node_id!r} dropped chunk {index} of"
+            f" {commitment_id[:12]}"
+        )
+
+    # -- cheat configuration -------------------------------------------------
+
+    def drop_chunks(self, commitment_id: str, fraction: float, rng) -> int:
+        """Discard a fraction of stored payloads (keep the proofs)."""
+        if not 0 <= fraction <= 1:
+            raise StorageError(f"fraction must be in [0,1]: {fraction}")
+        stored = self._require(commitment_id)
+        indices = sorted(stored.payloads)
+        to_drop = rng.sample(indices, int(len(indices) * fraction))
+        for index in to_drop:
+            del stored.payloads[index]
+        return len(to_drop)
+
+    def claim_sealed_without_storing(
+        self, sealed_blob: DataBlob, backing: DataBlob, replica_id: str
+    ) -> str:
+        """Register a sealed-replica commitment while physically keeping
+        only the unsealed backing (the dedup/Sybil cheat)."""
+        stored = StoredCommitment(
+            commitment_id=sealed_blob.merkle_root,
+            chunk_count=len(sealed_blob.chunks),
+            reseal_backing=(backing, replica_id),
+        )
+        for index in range(len(sealed_blob.chunks)):
+            stored.proofs[index] = sealed_blob.proof_for(index)
+        self.commitments[sealed_blob.merkle_root] = stored
+        return sealed_blob.merkle_root
+
+    def claim_outsourced(
+        self, blob: DataBlob, outsource_from: str
+    ) -> str:
+        """Register a commitment whose chunks live on another provider."""
+        stored = StoredCommitment(
+            commitment_id=blob.merkle_root,
+            chunk_count=len(blob.chunks),
+            outsource_from=outsource_from,
+        )
+        for index in range(len(blob.chunks)):
+            stored.proofs[index] = blob.proof_for(index)
+        self.commitments[blob.merkle_root] = stored
+        return blob.merkle_root
+
+    def _require(self, commitment_id: str) -> StoredCommitment:
+        stored = self.commitments.get(commitment_id)
+        if stored is None:
+            raise StorageError(f"unknown commitment {commitment_id[:12]}")
+        return stored
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StorageProvider({self.node_id!r},"
+            f" commitments={len(self.commitments)})"
+        )

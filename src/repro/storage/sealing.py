@@ -1,0 +1,54 @@
+"""Replica sealing: making each stored copy physically distinct.
+
+Proof-of-Replication (Filecoin, §3.3) requires that claiming to store N
+copies means storing N *distinct* encodings, so a Sybil provider cannot
+serve two replica-identities from one physical copy.  Sealing here is a
+real, invertible byte transformation — XOR with a keystream derived from
+``(replica_id, chunk_index)`` — so sealed chunks are genuinely different
+bytes with different Merkle commitments, and "re-seal on demand" is a
+computable (but slow, by simulated cost) cheat exactly as in the real
+protocol's time-asymmetry argument.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import sha256
+from repro.errors import StorageError
+from repro.storage.blob import DataBlob
+
+__all__ = ["seal_chunk", "unseal_chunk", "seal_blob"]
+
+
+def _keystream(replica_id: str, index: int, length: int) -> bytes:
+    if not replica_id:
+        raise StorageError("replica id must be non-empty")
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(sha256(f"seal:{replica_id}:{index}:{counter}".encode("utf-8")))
+        counter += 1
+    return bytes(out[:length])
+
+
+def seal_chunk(chunk: bytes, replica_id: str, index: int) -> bytes:
+    """Seal one chunk for a replica identity (XOR keystream)."""
+    stream = _keystream(replica_id, index, len(chunk))
+    return bytes(a ^ b for a, b in zip(chunk, stream))
+
+
+def unseal_chunk(sealed: bytes, replica_id: str, index: int) -> bytes:
+    """Sealing is an involution under the same keystream."""
+    return seal_chunk(sealed, replica_id, index)
+
+
+def seal_blob(blob: DataBlob, replica_id: str) -> DataBlob:
+    """The sealed encoding of a whole blob for one replica identity.
+
+    The sealed blob has its own Merkle root — the commitment the verifier
+    challenges for this replica.
+    """
+    sealed_chunks = tuple(
+        seal_chunk(chunk, replica_id, index)
+        for index, chunk in enumerate(blob.chunks)
+    )
+    return DataBlob(chunks=sealed_chunks, chunk_size=blob.chunk_size)

@@ -1,0 +1,129 @@
+"""Hostless web application bundles (ZeroNet / Beaker / Freedom.js, §3.4).
+
+A site is a signed bundle: the site *address is a public key* (ZeroNet),
+every file is hashed into a signed manifest, so any visitor can verify any
+copy fetched from any peer — hosting needs no trusted server.  Beaker's
+fork-and-merge model is first-class: :meth:`HostlessSite.fork` derives a
+new site (new key) recording its parent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.crypto.hashing import sha256_hex
+from repro.crypto.keys import KeyPair, Signature, generate_keypair, verify
+from repro.errors import WebAppError
+
+__all__ = ["SiteManifest", "HostlessSite", "SiteBundle"]
+
+
+@dataclass(frozen=True)
+class SiteManifest:
+    """The signed description of one site version."""
+
+    site_address: str  # the owner public key == the site address
+    version: int
+    file_hashes: Dict[str, str]
+    parent_address: Optional[str]
+    signature: Signature
+
+    def body(self) -> dict:
+        return {
+            "site_address": self.site_address,
+            "version": self.version,
+            "file_hashes": self.file_hashes,
+            "parent_address": self.parent_address,
+        }
+
+    def verify(self) -> bool:
+        """The manifest must be signed by the site address itself."""
+        if self.signature.public_key != self.site_address:
+            return False
+        return verify(self.signature, self.body())
+
+
+@dataclass(frozen=True)
+class SiteBundle:
+    """A complete, transferable copy of a site: manifest + file bytes."""
+
+    manifest: SiteManifest
+    files: Dict[str, bytes]
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(len(data) for data in self.files.values())
+
+    def verify(self) -> bool:
+        """Full integrity check: signature + per-file hashes + exact set."""
+        if not self.manifest.verify():
+            return False
+        if set(self.files) != set(self.manifest.file_hashes):
+            return False
+        return all(
+            sha256_hex(data) == self.manifest.file_hashes[path]
+            for path, data in self.files.items()
+        )
+
+
+class HostlessSite:
+    """Developer-side site object: holds the key, edits files, signs
+    versions, and produces verified bundles for the swarm."""
+
+    def __init__(self, seed: str, parent_address: Optional[str] = None):
+        self._keypair: KeyPair = generate_keypair(f"site:{seed}")
+        self.parent_address = parent_address
+        self._files: Dict[str, bytes] = {}
+        self.version = 0
+
+    @property
+    def address(self) -> str:
+        """The site address — also a payment address, as in ZeroNet."""
+        return self._keypair.public_key
+
+    def write_file(self, path: str, data: bytes) -> None:
+        if not path:
+            raise WebAppError("file path must be non-empty")
+        if not isinstance(data, (bytes, bytearray)):
+            raise WebAppError(f"file data must be bytes, got {type(data).__name__}")
+        self._files[path] = bytes(data)
+
+    def delete_file(self, path: str) -> None:
+        if path not in self._files:
+            raise WebAppError(f"no file {path!r} in site")
+        del self._files[path]
+
+    def files(self) -> List[str]:
+        return sorted(self._files)
+
+    def publish(self) -> SiteBundle:
+        """Sign the current file set as a new version."""
+        if not self._files:
+            raise WebAppError("cannot publish an empty site")
+        self.version += 1
+        file_hashes = {
+            path: sha256_hex(data) for path, data in self._files.items()
+        }
+        body = {
+            "site_address": self.address,
+            "version": self.version,
+            "file_hashes": file_hashes,
+            "parent_address": self.parent_address,
+        }
+        manifest = SiteManifest(
+            site_address=self.address,
+            version=self.version,
+            file_hashes=file_hashes,
+            parent_address=self.parent_address,
+            signature=self._keypair.sign(body),
+        )
+        return SiteBundle(manifest=manifest, files=dict(self._files))
+
+    def fork(self, new_seed: str) -> "HostlessSite":
+        """Beaker-style fork: copy the files under a new key, recording
+        this site as the parent."""
+        child = HostlessSite(new_seed, parent_address=self.address)
+        for path, data in self._files.items():
+            child.write_file(path, data)
+        return child

@@ -1,0 +1,70 @@
+"""Tests for ASCII figures and the reproduction self-check."""
+
+import pytest
+
+from repro.analysis import ascii_plot, sparkline, verify_reproduction
+from repro.errors import ReproError
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_values_monotone_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            sparkline([])
+
+
+class TestAsciiPlot:
+    def test_plot_contains_markers_and_axes(self):
+        out = ascii_plot([0, 1, 2, 3], [0, 1, 4, 9], width=20, height=8,
+                         x_label="t", y_label="v")
+        assert "*" in out
+        assert "+" in out  # axis corner
+        assert "v vs t" in out
+        assert len(out.splitlines()) == 8 + 3
+
+    def test_extremes_labeled(self):
+        out = ascii_plot([0, 10], [0.0, 1.0], width=20, height=6)
+        assert "1" in out and "0" in out
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_plot([1, 2], [1], width=20, height=6)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_plot([1], [1], width=2, height=2)
+
+    def test_single_point(self):
+        out = ascii_plot([1], [1], width=12, height=4)
+        assert "*" in out
+
+
+class TestVerifyReproduction:
+    def test_all_targets_pass(self):
+        rows = verify_reproduction()
+        failing = [row for row in rows if row["status"] != "PASS"]
+        assert failing == [], failing
+
+    def test_covers_every_major_experiment(self):
+        targets = " ".join(row["target"] for row in rows_cache())
+        for marker in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"):
+            assert marker in targets
+
+
+_rows = None
+
+
+def rows_cache():
+    global _rows
+    if _rows is None:
+        _rows = verify_reproduction()
+    return _rows

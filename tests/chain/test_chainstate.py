@@ -1,0 +1,201 @@
+"""Tests for block validation, fork choice, and reorgs."""
+
+import pytest
+
+from repro.chain import ChainState, LedgerRules, TxKind, make_transaction
+from repro.chain.block import make_block, make_genesis
+from repro.chain.transaction import make_coinbase
+from repro.crypto import generate_keypair
+from repro.errors import InvalidBlockError
+
+
+def build_block(chain, parent, miner="m", timestamp=None, txs=(), reward=None):
+    rules = chain.rules
+    cb = make_coinbase(
+        f"{miner}-account",
+        rules.block_reward if reward is None else reward,
+        parent.height + 1,
+    )
+    return make_block(
+        parent=parent,
+        timestamp=parent.timestamp + 600 if timestamp is None else timestamp,
+        miner=miner,
+        difficulty=1.0,
+        transactions=[cb] + list(txs),
+    )
+
+
+@pytest.fixture
+def chain():
+    return ChainState()
+
+
+class TestBasicGrowth:
+    def test_genesis_is_tip(self, chain):
+        assert chain.tip.is_genesis
+        assert chain.height == 0
+
+    def test_add_block_advances_tip(self, chain):
+        b1 = build_block(chain, chain.genesis)
+        assert chain.add_block(b1) is True
+        assert chain.tip.block_id == b1.block_id
+        assert chain.height == 1
+
+    def test_duplicate_block_idempotent(self, chain):
+        b1 = build_block(chain, chain.genesis)
+        chain.add_block(b1)
+        assert chain.add_block(b1) is False
+
+    def test_coinbase_credits_state(self, chain):
+        b1 = build_block(chain, chain.genesis, miner="alice")
+        chain.add_block(b1)
+        assert chain.state_at().balance("alice-account") == pytest.approx(
+            chain.rules.block_reward
+        )
+
+    def test_orphan_rejected(self, chain):
+        b1 = build_block(chain, chain.genesis)
+        b2 = build_block(chain, b1)
+        with pytest.raises(InvalidBlockError):
+            chain.add_block(b2)  # b1 never added
+
+    def test_wrong_height_rejected(self, chain):
+        b1 = build_block(chain, chain.genesis)
+        chain.add_block(b1)
+        bad = make_block(
+            parent=b1, timestamp=b1.timestamp + 1, miner="m",
+            difficulty=1.0, transactions=[make_coinbase("m", 50.0, 99)],
+        )
+        object.__setattr__(bad, "height", 99)
+        with pytest.raises(InvalidBlockError):
+            chain.add_block(bad)
+
+    def test_timestamp_before_parent_rejected(self, chain):
+        b1 = build_block(chain, chain.genesis, timestamp=100.0)
+        chain.add_block(b1)
+        b2 = build_block(chain, b1, timestamp=50.0)
+        with pytest.raises(InvalidBlockError):
+            chain.add_block(b2)
+
+    def test_excess_coinbase_rejected(self, chain):
+        bad = build_block(chain, chain.genesis, reward=chain.rules.block_reward * 2)
+        with pytest.raises(InvalidBlockError):
+            chain.add_block(bad)
+
+    def test_main_chain_listing(self, chain):
+        b1 = build_block(chain, chain.genesis)
+        chain.add_block(b1)
+        b2 = build_block(chain, b1)
+        chain.add_block(b2)
+        ids = [b.block_id for b in chain.main_chain()]
+        assert ids == [chain.genesis.block_id, b1.block_id, b2.block_id]
+
+    def test_block_at_height(self, chain):
+        b1 = build_block(chain, chain.genesis)
+        chain.add_block(b1)
+        assert chain.block_at_height(1).block_id == b1.block_id
+        assert chain.block_at_height(5) is None
+
+
+class TestTransactionsInBlocks:
+    def test_funded_payment_applies(self):
+        alice = generate_keypair("cs-alice")
+        chain = ChainState(premine={alice.public_key: 100.0})
+        t = make_transaction(alice, TxKind.PAY, {"to": "bob", "amount": 10.0}, 0)
+        b1 = build_block(chain, chain.genesis, txs=[t])
+        chain.add_block(b1)
+        assert chain.state_at().balance("bob") == pytest.approx(10.0)
+
+    def test_invalid_tx_invalidates_block(self):
+        alice = generate_keypair("cs-alice2")
+        chain = ChainState()  # no premine: overspend
+        t = make_transaction(alice, TxKind.PAY, {"to": "bob", "amount": 10.0}, 0)
+        b1 = build_block(chain, chain.genesis, txs=[t])
+        with pytest.raises(InvalidBlockError):
+            chain.add_block(b1)
+        assert chain.rejected_blocks == 1
+
+    def test_find_transaction(self):
+        alice = generate_keypair("cs-alice3")
+        chain = ChainState(premine={alice.public_key: 100.0})
+        t = make_transaction(alice, TxKind.PAY, {"to": "bob", "amount": 1.0}, 0)
+        b1 = build_block(chain, chain.genesis, txs=[t])
+        chain.add_block(b1)
+        assert chain.find_transaction(t.txid) == 1
+        assert chain.find_transaction("0" * 64) is None
+
+
+class TestForksAndReorgs:
+    def test_equal_work_fork_keeps_first_tip(self, chain):
+        b1a = build_block(chain, chain.genesis, miner="a")
+        b1b = build_block(chain, chain.genesis, miner="b")
+        chain.add_block(b1a)
+        tip_before = chain.tip.block_id
+        chain.add_block(b1b)
+        # Work equal: tip must not flap arbitrarily.
+        expected = min(b1a.block_id, b1b.block_id)
+        if tip_before == expected:
+            assert chain.tip.block_id == tip_before
+        else:
+            assert chain.tip.block_id == expected
+
+    def test_heavier_branch_wins(self, chain):
+        b1a = build_block(chain, chain.genesis, miner="a")
+        chain.add_block(b1a)
+        b1b = build_block(chain, chain.genesis, miner="b")
+        chain.add_block(b1b)
+        # Extend branch b to make it strictly heavier.
+        b2b = build_block(chain, b1b, miner="b")
+        chain.add_block(b2b)
+        assert chain.tip.block_id == b2b.block_id
+        assert chain.height == 2
+
+    def test_reorg_counted(self, chain):
+        b1a = build_block(chain, chain.genesis, miner="a")
+        chain.add_block(b1a)
+        b1b = build_block(chain, chain.genesis, miner="b")
+        chain.add_block(b1b)
+        b2b = build_block(chain, b1b, miner="b")
+        chain.add_block(b2b)
+        assert chain.reorgs >= 1
+
+    def test_reorg_replaces_ledger_state(self):
+        alice = generate_keypair("cs-alice4")
+        chain = ChainState(premine={alice.public_key: 100.0})
+        pay = make_transaction(alice, TxKind.PAY, {"to": "bob", "amount": 10.0}, 0)
+        b1a = build_block(chain, chain.genesis, miner="a", txs=[pay])
+        chain.add_block(b1a)
+        assert chain.state_at().balance("bob") == pytest.approx(10.0)
+        # Competing branch without the payment becomes heavier.
+        b1b = build_block(chain, chain.genesis, miner="b")
+        chain.add_block(b1b)
+        b2b = build_block(chain, b1b, miner="b")
+        chain.add_block(b2b)
+        # The payment is gone from the consensus view: the 51%-rewrite effect.
+        assert chain.state_at().balance("bob") == 0.0
+        assert chain.find_transaction(pay.txid) is None
+
+    def test_confirmations(self, chain):
+        b1 = build_block(chain, chain.genesis)
+        chain.add_block(b1)
+        b2 = build_block(chain, b1)
+        chain.add_block(b2)
+        assert chain.confirmations(b1.block_id) == 2
+        assert chain.confirmations(b2.block_id) == 1
+        # Off-main-chain block has zero confirmations.
+        b1x = build_block(chain, chain.genesis, miner="x")
+        chain.add_block(b1x)
+        assert chain.confirmations(b1x.block_id) == 0
+
+    def test_same_sender_double_spend_on_two_branches(self):
+        alice = generate_keypair("cs-alice5")
+        chain = ChainState(premine={alice.public_key: 10.0})
+        spend1 = make_transaction(alice, TxKind.PAY, {"to": "bob", "amount": 10.0}, 0)
+        spend2 = make_transaction(alice, TxKind.PAY, {"to": "carol", "amount": 10.0}, 0)
+        b1a = build_block(chain, chain.genesis, miner="a", txs=[spend1])
+        b1b = build_block(chain, chain.genesis, miner="b", txs=[spend2])
+        chain.add_block(b1a)
+        chain.add_block(b1b)  # both branches individually valid
+        # Only one can be in the consensus state at a time.
+        state = chain.state_at()
+        assert (state.balance("bob") > 0) != (state.balance("carol") > 0)

@@ -1,0 +1,51 @@
+"""Tests for the Eyal-Sirer selfish-mining model."""
+
+import pytest
+
+from repro.chain import selfish_mining_revenue
+from repro.errors import ChainError
+
+
+class TestSelfishMining:
+    def test_below_one_third_unprofitable_at_gamma_zero(self):
+        # The classic threshold: alpha < 1/3 with gamma=0 loses revenue.
+        for alpha in (0.15, 0.25, 0.30):
+            revenue = selfish_mining_revenue(alpha, gamma=0.0, blocks=300_000, seed=1)
+            assert revenue < alpha
+
+    def test_above_one_third_profitable_at_gamma_zero(self):
+        for alpha in (0.36, 0.40, 0.45):
+            revenue = selfish_mining_revenue(alpha, gamma=0.0, blocks=300_000, seed=1)
+            assert revenue > alpha
+
+    def test_gamma_one_always_profitable(self):
+        # With all honest miners building on the attacker's branch during
+        # races, the profitability threshold drops to zero.
+        for alpha in (0.1, 0.2, 0.3):
+            revenue = selfish_mining_revenue(alpha, gamma=1.0, blocks=300_000, seed=2)
+            assert revenue > alpha
+
+    def test_gamma_monotone(self):
+        low = selfish_mining_revenue(0.3, gamma=0.0, blocks=200_000, seed=3)
+        high = selfish_mining_revenue(0.3, gamma=1.0, blocks=200_000, seed=3)
+        assert high > low
+
+    def test_revenue_increases_with_alpha(self):
+        revenues = [
+            selfish_mining_revenue(alpha, gamma=0.5, blocks=150_000, seed=4)
+            for alpha in (0.1, 0.2, 0.3, 0.4)
+        ]
+        assert revenues == sorted(revenues)
+
+    def test_deterministic_given_seed(self):
+        a = selfish_mining_revenue(0.35, 0.5, blocks=50_000, seed=7)
+        b = selfish_mining_revenue(0.35, 0.5, blocks=50_000, seed=7)
+        assert a == b
+
+    def test_parameter_validation(self):
+        with pytest.raises(ChainError):
+            selfish_mining_revenue(0.0)
+        with pytest.raises(ChainError):
+            selfish_mining_revenue(1.0)
+        with pytest.raises(ChainError):
+            selfish_mining_revenue(0.3, gamma=1.5)

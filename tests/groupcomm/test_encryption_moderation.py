@@ -1,0 +1,164 @@
+"""Tests for the ratchet-session model and moderation policies."""
+
+import pytest
+
+from repro.crypto import sha256_hex
+from repro.errors import CryptoError, GroupCommError
+from repro.groupcomm import (
+    KeywordPolicy,
+    Message,
+    NoModeration,
+    PerInstancePolicy,
+    RatchetSession,
+    ReputationPolicy,
+    evaluate_policies,
+)
+
+
+def make_pair(secret="shared-secret"):
+    return RatchetSession(secret), RatchetSession(secret)
+
+
+class TestRatchetSession:
+    def test_encrypt_decrypt_roundtrip(self):
+        alice, bob = make_pair()
+        ct = alice.encrypt({"text": "hello"})
+        assert bob.decrypt(ct, peer=alice) == {"text": "hello"}
+
+    def test_each_message_fresh_key(self):
+        alice, _ = make_pair()
+        c1, c2 = alice.encrypt("a"), alice.encrypt("b")
+        assert c1.key_id != c2.key_id
+
+    def test_wrong_secret_cannot_decrypt(self):
+        alice, _ = make_pair("secret-1")
+        eve = RatchetSession("secret-2")
+        ct = alice.encrypt("private")
+        with pytest.raises(CryptoError):
+            eve.decrypt(ct, peer=alice)
+
+    def test_out_of_order_decryption_works(self):
+        alice, bob = make_pair()
+        c1, c2, c3 = alice.encrypt("1"), alice.encrypt("2"), alice.encrypt("3")
+        assert bob.decrypt(c3, peer=alice) == "3"
+        assert bob.decrypt(c1, peer=alice) == "1"
+        assert bob.decrypt(c2, peer=alice) == "2"
+
+    def test_forward_secrecy_on_compromise(self):
+        alice, bob = make_pair()
+        old = alice.encrypt("old message")
+        leak = alice.compromise()  # state leaked AFTER old message
+        new = alice.encrypt("new message")
+        assert not leak.can_read(old)
+        assert leak.can_read(new)
+        assert leak.read(new, sender=alice) == "new message"
+        with pytest.raises(CryptoError):
+            leak.read(old, sender=alice)
+
+    def test_rekey_restores_security(self):
+        alice, bob = make_pair()
+        leak = alice.compromise()
+        alice.rekey()  # DH ratchet step after the compromise
+        fresh = alice.encrypt("post-compromise")
+        assert not leak.can_read(fresh, victim_rekeyed=True)
+
+    def test_no_rekey_leaves_future_exposed(self):
+        alice, bob = make_pair()
+        leak = alice.compromise()
+        alice.rekey()
+        fresh = alice.encrypt("still exposed without fresh DH semantics")
+        assert leak.can_read(fresh, victim_rekeyed=False)
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(CryptoError):
+            RatchetSession("")
+
+    def test_cross_epoch_decryption(self):
+        alice, bob = make_pair()
+        c0 = alice.encrypt("epoch0")
+        alice.rekey()
+        bob.rekey()
+        c1 = alice.encrypt("epoch1")
+        assert bob.decrypt(c0, peer=alice) == "epoch0"
+        assert bob.decrypt(c1, peer=alice) == "epoch1"
+
+
+def msg(author, body, seq=0):
+    return Message(author=author, room="r", body=body, sent_at=0.0, seq=seq)
+
+
+class TestModerationPolicies:
+    def test_no_moderation_passes_all(self):
+        traffic = [msg("spammer", "BUY NOW", i) for i in range(5)]
+        outcome = evaluate_policies(
+            NoModeration(), traffic, spam_ids={m.msg_id for m in traffic}
+        )
+        assert outcome.spam_delivered == 5
+        assert outcome.collateral_rate == 0.0
+
+    def test_keyword_policy_blocks_matching(self):
+        spam = [msg("s", f"buy cheap pills {i}", i) for i in range(4)]
+        ham = [msg("h", f"lunch at noon {i}", i) for i in range(4)]
+        outcome = evaluate_policies(
+            KeywordPolicy(["cheap pills"]),
+            spam + ham,
+            spam_ids={m.msg_id for m in spam},
+        )
+        assert outcome.spam_delivered == 0
+        assert outcome.legitimate_blocked == 0
+
+    def test_keyword_policy_collateral_damage(self):
+        # A medical discussion tripping the same filter.
+        ham = [msg("dr", "this prescription covers cheap pills safely")]
+        outcome = evaluate_policies(
+            KeywordPolicy(["cheap pills"]), ham, spam_ids=set()
+        )
+        assert outcome.legitimate_blocked == 1
+        assert outcome.collateral_rate == 1.0
+
+    def test_keyword_policy_requires_keywords(self):
+        with pytest.raises(GroupCommError):
+            KeywordPolicy([])
+
+    def test_reputation_policy_learns_from_reports(self):
+        spam = [msg("spammer", f"scam {i}", i) for i in range(10)]
+        policy = ReputationPolicy(report_threshold=3)
+        outcome = evaluate_policies(
+            policy, spam, spam_ids={m.msg_id for m in spam},
+            reporters_per_spam=1,
+        )
+        # First 3 delivered (reports accumulate), rest blocked.
+        assert outcome.spam_delivered == 3
+        assert "spammer" in policy.banned_authors
+
+    def test_reputation_threshold_validation(self):
+        with pytest.raises(GroupCommError):
+            ReputationPolicy(report_threshold=0)
+
+    def test_per_instance_policies_differ(self):
+        strict = KeywordPolicy(["politics"])
+        lax = NoModeration()
+        fed_policy = PerInstancePolicy({"strict.social": strict, "lax.social": lax})
+        message = msg("u", "let's talk politics")
+        delivery = fed_policy.delivery_map(message)
+        assert delivery == {"strict.social": False, "lax.social": True}
+        # Reachable somewhere in the federation: no global censorship.
+        assert fed_policy.allows(message)
+
+    def test_per_instance_unknown_instance(self):
+        fed_policy = PerInstancePolicy({"a": NoModeration()})
+        with pytest.raises(GroupCommError):
+            fed_policy.allows_at("b", msg("u", "x"))
+
+    def test_per_instance_requires_instances(self):
+        with pytest.raises(GroupCommError):
+            PerInstancePolicy({})
+
+    def test_outcome_rates(self):
+        spam = [msg("s", "junk", i) for i in range(4)]
+        ham = [msg("h", "hello", i) for i in range(6)]
+        outcome = evaluate_policies(
+            NoModeration(), spam + ham, spam_ids={m.msg_id for m in spam}
+        )
+        assert outcome.spam_pass_rate == 1.0
+        assert outcome.legitimate_total == 6

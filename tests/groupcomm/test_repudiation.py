@@ -1,0 +1,101 @@
+"""Tests for OTR-style repudiable authentication."""
+
+import pytest
+
+from repro.crypto import generate_keypair
+from repro.errors import CryptoError, GroupCommError
+from repro.groupcomm import OtrConversation, SignedConversation
+
+
+class TestOtrAuthentication:
+    def test_peer_authenticates_in_real_time(self):
+        alice_side = OtrConversation("handshake-secret")
+        bob_side = OtrConversation("handshake-secret")
+        message = alice_side.send("alice", "meet at noon")
+        assert bob_side.authenticate(message)
+
+    def test_wrong_secret_fails_authentication(self):
+        alice_side = OtrConversation("secret-a")
+        eve_side = OtrConversation("secret-b")
+        message = alice_side.send("alice", "hello")
+        assert not eve_side.authenticate(message)
+
+    def test_tampered_body_fails_authentication(self):
+        from repro.groupcomm.repudiation import OtrMessage
+
+        alice_side = OtrConversation("s")
+        bob_side = OtrConversation("s")
+        message = alice_side.send("alice", "original")
+        tampered = OtrMessage(message.index, message.author, "evil", message.mac)
+        assert not bob_side.authenticate(tampered)
+
+    def test_keys_revealed_with_next_message(self):
+        conversation = OtrConversation("s")
+        first = conversation.send("alice", "one")
+        assert first.revealed_keys == ()
+        second = conversation.send("alice", "two")
+        assert len(second.revealed_keys) == 1
+        assert second.revealed_keys[0][0] == 0  # key for message 0
+
+
+class TestRepudiability:
+    def test_transcript_loses_evidentiary_value_after_disclosure(self):
+        conversation = OtrConversation("s")
+        message = conversation.send("alice", "incriminating")
+        assert OtrConversation.third_party_can_attribute(
+            message, conversation.disclosed
+        )
+        conversation.end_conversation()
+        assert not OtrConversation.third_party_can_attribute(
+            message, conversation.disclosed
+        )
+
+    def test_anyone_can_forge_after_disclosure(self):
+        conversation = OtrConversation("s")
+        real = conversation.send("alice", "real message")
+        disclosed = conversation.end_conversation()
+        forged = OtrConversation.forge(
+            real.index, "alice", "words she never said", disclosed
+        )
+        # The forgery passes the only check an outsider can run.
+        assert conversation.mac_matches_disclosed_key(forged)
+        assert conversation.mac_matches_disclosed_key(real)
+        # And is structurally indistinguishable from the real message.
+        assert type(forged) is type(real)
+        assert forged.index == real.index
+
+    def test_forgery_impossible_before_disclosure(self):
+        conversation = OtrConversation("s")
+        conversation.send("alice", "m0")
+        with pytest.raises(GroupCommError):
+            OtrConversation.forge(0, "alice", "fake", disclosed={})
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(CryptoError):
+            OtrConversation("")
+
+
+class TestSignedBaseline:
+    def test_signatures_are_forever_attributable(self):
+        conversation = SignedConversation()
+        alice = generate_keypair("otr-pgp-alice")
+        body, signature = conversation.send(alice, "incriminating")
+        # Any third party, at any later time, proves authorship.
+        assert SignedConversation.third_party_can_attribute(body, signature)
+
+    def test_signature_does_not_attribute_other_text(self):
+        alice = generate_keypair("otr-pgp-alice2")
+        conversation = SignedConversation()
+        body, signature = conversation.send(alice, "original")
+        assert not SignedConversation.third_party_can_attribute("forged", signature)
+
+    def test_contrast_with_otr(self):
+        # The property-level contrast the paper cites OTR for.
+        otr = OtrConversation("s")
+        message = otr.send("alice", "text")
+        otr.end_conversation()
+        pgp = SignedConversation()
+        alice = generate_keypair("otr-pgp-alice3")
+        body, signature = pgp.send(alice, "text")
+        assert not OtrConversation.third_party_can_attribute(message, otr.disclosed)
+        assert SignedConversation.third_party_can_attribute(body, signature)

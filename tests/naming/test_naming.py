@@ -1,0 +1,357 @@
+"""Tests for all three naming backends and the Zooko assessment."""
+
+import pytest
+
+from repro.chain import BlockchainNetwork, ConsensusParams
+from repro.crypto import generate_keypair
+from repro.errors import (
+    AccessDeniedError,
+    NameNotFoundError,
+    NameTakenError,
+    NamingError,
+    NotNameOwnerError,
+)
+from repro.naming import (
+    BlockchainNameRegistry,
+    CentralizedPKI,
+    NameBinding,
+    WebOfTrust,
+    ZoneFile,
+    assess,
+    triangle_table,
+    validate_name,
+)
+from repro.net import ConstantLatency, Network
+from repro.sim import RngStreams, Simulator
+
+FAST = ConsensusParams(
+    target_block_interval=10.0, retarget_interval=50, initial_difficulty=100.0
+)
+
+
+def chain_setup(seed=1, premine=None, confirmations=3):
+    sim = Simulator()
+    streams = RngStreams(seed)
+    chain_net = BlockchainNetwork(
+        sim, streams, params=FAST, propagation_delay=0.5, premine=premine or {}
+    )
+    chain_net.add_participant("m1", hashrate=10.0)
+    chain_net.add_participant("m2", hashrate=10.0)
+    chain_net.start()
+    registry = BlockchainNameRegistry(
+        chain_net, chain_net.participant("m1"), confirmations=confirmations
+    )
+    return sim, chain_net, registry
+
+
+class TestRecords:
+    def test_validate_name_accepts_dns_labels(self):
+        assert validate_name("alice.id") == "alice.id"
+        assert validate_name("bob-2_x") == "bob-2_x"
+
+    def test_validate_name_rejects_bad(self):
+        for bad in ("", "UPPER", "has space", ".dot", "dash-", "x" * 65):
+            with pytest.raises(NamingError):
+                validate_name(bad)
+
+    def test_zone_file_commitment(self):
+        zf = ZoneFile({"web": "https://example.org", "storage": "dht://key"})
+        binding = NameBinding("alice.id", "pk123", zf.digest)
+        assert binding.verify_zone_file(zf)
+        assert not binding.verify_zone_file(ZoneFile({"web": "https://evil"}))
+
+    def test_binding_roundtrip_through_value(self):
+        binding = NameBinding("alice.id", "pk123", "zf456")
+        restored = NameBinding.from_value("alice.id", binding.as_value())
+        assert restored == binding
+
+    def test_malformed_value_rejected(self):
+        with pytest.raises(NamingError):
+            NameBinding.from_value("x", {"nope": 1})
+
+
+class TestBlockchainRegistry:
+    def test_register_and_resolve(self):
+        alice = generate_keypair("bn-alice")
+        sim, chain_net, registry = chain_setup(premine={alice.public_key: 100.0})
+
+        def scenario():
+            receipt = yield from registry.register(alice, "alice.id", {"pk": "x"})
+            resolution = yield from registry.resolve("alice.id")
+            return receipt, resolution
+
+        receipt, resolution = sim.run_process(scenario(), until=50_000.0)
+        assert receipt.owner_public_key == alice.public_key
+        # Latency ~ confirmations x block interval (3 x ~5s here, wide band).
+        assert receipt.latency > 2 * FAST.target_block_interval / 2
+        assert resolution.value == {"pk": "x"}
+        assert resolution.authoritative
+
+    def test_registration_latency_scales_with_confirmations(self):
+        alice = generate_keypair("bn-alice2")
+        latencies = {}
+        for confirmations in (1, 6):
+            sim, chain_net, registry = chain_setup(
+                seed=7, premine={alice.public_key: 100.0}, confirmations=confirmations
+            )
+
+            def scenario():
+                receipt = yield from registry.register(alice, "a.id", {})
+                return receipt.latency
+
+            latencies[confirmations] = sim.run_process(scenario(), until=50_000.0)
+        assert latencies[6] > latencies[1]
+
+    def test_conflicting_registration_first_wins(self):
+        alice = generate_keypair("bn-alice3")
+        bob = generate_keypair("bn-bob3")
+        sim, chain_net, registry = chain_setup(
+            seed=3, premine={alice.public_key: 100.0, bob.public_key: 100.0}
+        )
+        outcomes = {}
+
+        def register(keypair, who):
+            try:
+                receipt = yield from registry.register(keypair, "contested", {})
+                outcomes[who] = "won"
+            except NameTakenError:
+                outcomes[who] = "lost"
+
+        sim.spawn(register(alice, "alice"))
+        sim.spawn(register(bob, "bob"))
+        sim.run(until=3000.0)
+        assert sorted(outcomes.values()) == ["lost", "won"]
+
+    def test_resolve_unknown_raises(self):
+        sim, chain_net, registry = chain_setup(seed=4)
+
+        def scenario():
+            try:
+                yield from registry.resolve("ghost")
+            except NameNotFoundError:
+                return "missing"
+
+        assert sim.run_process(scenario(), until=1000.0) == "missing"
+
+    def test_update_by_owner(self):
+        alice = generate_keypair("bn-alice5")
+        sim, chain_net, registry = chain_setup(seed=5, premine={alice.public_key: 100.0})
+
+        def scenario():
+            yield from registry.register(alice, "alice.id", {"v": 1})
+            yield from registry.update(alice, "alice.id", {"v": 2})
+            resolution = yield from registry.resolve("alice.id")
+            return resolution.value
+
+        assert sim.run_process(scenario(), until=50_000.0) == {"v": 2}
+
+    def test_transfer_changes_owner(self):
+        alice = generate_keypair("bn-alice6")
+        bob = generate_keypair("bn-bob6")
+        sim, chain_net, registry = chain_setup(seed=6, premine={alice.public_key: 100.0})
+
+        def scenario():
+            yield from registry.register(alice, "alice.id", {})
+            yield from registry.transfer(alice, "alice.id", bob.public_key)
+            resolution = yield from registry.resolve("alice.id")
+            return resolution.owner_public_key
+
+        assert sim.run_process(scenario(), until=50_000.0) == bob.public_key
+
+    def test_bad_confirmations_rejected(self):
+        sim, chain_net, _ = chain_setup(seed=8)
+        with pytest.raises(NamingError):
+            BlockchainNameRegistry(chain_net, chain_net.participant("m1"), confirmations=0)
+
+
+class TestCentralizedPKI:
+    def make_pki(self, seed=1):
+        sim = Simulator()
+        network = Network(sim, RngStreams(seed), latency=ConstantLatency(0.05))
+        network.create_node("client")
+        pki = CentralizedPKI(network)
+        return sim, network, pki
+
+    def test_register_resolve_fast(self):
+        sim, network, pki = self.make_pki()
+        alice = generate_keypair("pki-alice")
+
+        def scenario():
+            receipt = yield from pki.register(alice, "alice.id", {"pk": "x"}, client="client")
+            resolution = yield from pki.resolve("alice.id", client="client")
+            return receipt, resolution
+
+        receipt, resolution = sim.run_process(scenario())
+        assert receipt.latency < 1.0  # one RTT, vs minutes for blockchain
+        assert resolution.owner_public_key == alice.public_key
+
+    def test_duplicate_name_rejected(self):
+        sim, network, pki = self.make_pki()
+        alice = generate_keypair("pki-alice2")
+        bob = generate_keypair("pki-bob2")
+
+        def scenario():
+            yield from pki.register(alice, "n", {}, client="client")
+            try:
+                yield from pki.register(bob, "n", {}, client="client")
+            except NameTakenError:
+                return "taken"
+
+        assert sim.run_process(scenario()) == "taken"
+
+    def test_update_requires_ownership(self):
+        sim, network, pki = self.make_pki()
+        alice = generate_keypair("pki-alice3")
+        eve = generate_keypair("pki-eve3")
+
+        def scenario():
+            yield from pki.register(alice, "n", {"v": 1}, client="client")
+            try:
+                yield from pki.update(eve, "n", {"v": 666}, client="client")
+            except NotNameOwnerError:
+                return "denied"
+
+        assert sim.run_process(scenario()) == "denied"
+
+    def test_feudal_revocation(self):
+        sim, network, pki = self.make_pki()
+        alice = generate_keypair("pki-alice4")
+
+        def scenario():
+            yield from pki.register(alice, "n", {}, client="client")
+            pki.revoke_user(alice.public_key)
+            try:
+                yield from pki.update(alice, "n", {"v": 2}, client="client")
+            except AccessDeniedError:
+                return "revoked"
+
+        assert sim.run_process(scenario()) == "revoked"
+
+    def test_authority_can_seize_names(self):
+        sim, network, pki = self.make_pki()
+        alice = generate_keypair("pki-alice5")
+
+        def scenario():
+            yield from pki.register(alice, "n", {}, client="client")
+            pki.seize_name("n", "the-government")
+            resolution = yield from pki.resolve("n", client="client")
+            return resolution.owner_public_key
+
+        assert sim.run_process(scenario()) == "the-government"
+
+    def test_ca_compromise_rebinds(self):
+        sim, network, pki = self.make_pki()
+        alice = generate_keypair("pki-alice6")
+        mallory = generate_keypair("pki-mallory6")
+
+        def scenario():
+            yield from pki.register(alice, "bank", {"endpoint": "real"}, client="client")
+            capability = pki.compromise()
+            capability.fraudulently_rebind("bank", mallory.public_key, {"endpoint": "phish"})
+            resolution = yield from pki.resolve("bank", client="client")
+            return resolution
+
+        resolution = sim.run_process(scenario())
+        assert resolution.owner_public_key == mallory.public_key
+        assert resolution.value == {"endpoint": "phish"}
+
+    def test_server_offline_means_no_resolution(self):
+        sim, network, pki = self.make_pki()
+        alice = generate_keypair("pki-alice7")
+
+        def scenario():
+            yield from pki.register(alice, "n", {}, client="client")
+            network.node(pki.server_id).set_online(False, sim.now)
+            from repro.errors import RpcTimeoutError
+
+            try:
+                yield from pki.resolve("n", client="client")
+            except RpcTimeoutError:
+                return "unavailable"
+
+        assert sim.run_process(scenario()) == "unavailable"
+
+
+class TestWebOfTrust:
+    def build_honest_community(self, wot, size=10):
+        members = [wot.create_identity(f"member{i}") for i in range(size)]
+        # Ring of vouches plus a chord, so everyone is reachable.
+        for i, member in enumerate(members):
+            wot.vouch(member, members[(i + 1) % size].public_key)
+            wot.vouch(member, members[(i + 3) % size].public_key)
+        return members
+
+    def test_legit_binding_accepted(self):
+        wot = WebOfTrust(trust_horizon=4, endorsements_required=2)
+        members = self.build_honest_community(wot)
+        alice = members[0]
+        for endorser in members[1:4]:
+            wot.endorse_binding(endorser, "alice.id", alice.public_key)
+        anchors = [members[5].public_key]
+        assert wot.accepts(anchors, "alice.id", alice.public_key)
+        assert wot.resolve(anchors, "alice.id") == alice.public_key
+
+    def test_insufficient_endorsements_rejected(self):
+        wot = WebOfTrust(trust_horizon=4, endorsements_required=3)
+        members = self.build_honest_community(wot)
+        alice = members[0]
+        wot.endorse_binding(members[1], "alice.id", alice.public_key)
+        assert not wot.accepts([members[5].public_key], "alice.id", alice.public_key)
+
+    def test_endorsers_outside_horizon_dont_count(self):
+        wot = WebOfTrust(trust_horizon=1, endorsements_required=1)
+        members = self.build_honest_community(wot)
+        alice = members[0]
+        # Endorser is 5 hops away from the anchor.
+        wot.endorse_binding(members[6], "alice.id", alice.public_key)
+        anchors = [members[0].public_key]
+        assert not wot.accepts(anchors, "alice.id", alice.public_key)
+
+    def test_sybil_attack_fails_without_infiltration(self):
+        wot = WebOfTrust(trust_horizon=4, endorsements_required=2)
+        members = self.build_honest_community(wot)
+        result = wot.sybil_attack(
+            "victim.id", sybil_count=50, infiltration_edges=0,
+            honest_victims=[m.public_key for m in members],
+        )
+        anchors = [members[0].public_key]
+        assert not wot.accepts(anchors, "victim.id", result.attacker_public_key)
+
+    def test_sybil_attack_succeeds_with_infiltration(self):
+        wot = WebOfTrust(trust_horizon=4, endorsements_required=2)
+        members = self.build_honest_community(wot)
+        result = wot.sybil_attack(
+            "victim.id", sybil_count=50, infiltration_edges=2,
+            honest_victims=[m.public_key for m in members],
+        )
+        anchors = [members[0].public_key]
+        assert wot.accepts(anchors, "victim.id", result.attacker_public_key)
+
+    def test_self_vouch_rejected(self):
+        wot = WebOfTrust()
+        alice = wot.create_identity("a")
+        with pytest.raises(NamingError):
+            wot.vouch(alice, alice.public_key)
+
+    def test_verifier_needs_anchors(self):
+        wot = WebOfTrust()
+        with pytest.raises(NamingError):
+            wot.accepts([], "x", "pk")
+
+
+class TestZooko:
+    def test_blockchain_claims_all_three(self):
+        assert assess("blockchain").corners == 3
+
+    def test_classic_designs_pick_two(self):
+        for kind in ("raw_public_key", "centralized", "web_of_trust"):
+            assert assess(kind).corners == 2
+
+    def test_table_has_blockchain_last(self):
+        table = triangle_table()
+        assert table[-1]["kind"] == "blockchain"
+        assert len(table) == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(NamingError):
+            assess("quantum")

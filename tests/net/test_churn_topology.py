@@ -1,0 +1,179 @@
+"""Tests for churn processes and topology builders."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import (
+    ChurnProfile,
+    Network,
+    Node,
+    NodeClass,
+    attach_churn,
+    profile_for_class,
+)
+from repro.net.churn import PERSONAL_COMPUTER_PROFILE, SMARTPHONE_PROFILE
+from repro.net.topology import (
+    federation_homes,
+    isp_tree,
+    random_graph,
+    ring_lattice,
+    scale_free,
+    small_world,
+    star,
+)
+from repro.sim import RngStreams, Simulator
+
+
+class TestChurnProfile:
+    def test_availability_formula(self):
+        profile = ChurnProfile(mean_uptime=30.0, mean_downtime=10.0)
+        assert profile.availability == pytest.approx(0.75)
+
+    def test_invalid_means_rejected(self):
+        with pytest.raises(NetworkError):
+            ChurnProfile(mean_uptime=0.0, mean_downtime=1.0)
+
+    def test_invalid_attrition_rejected(self):
+        with pytest.raises(NetworkError):
+            ChurnProfile(mean_uptime=1.0, mean_downtime=1.0, attrition=2.0)
+
+    def test_class_profiles_exist(self):
+        for node_class in NodeClass.ALL:
+            assert profile_for_class(node_class).mean_uptime > 0
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(NetworkError):
+            profile_for_class("quantum")
+
+    def test_datacenter_availability_exceeds_phone(self):
+        assert (
+            profile_for_class(NodeClass.DATACENTER).availability
+            > profile_for_class(NodeClass.SMARTPHONE).availability
+        )
+
+
+class TestChurnProcess:
+    def test_empirical_availability_matches_profile(self):
+        sim = Simulator()
+        streams = RngStreams(11)
+        profile = ChurnProfile(mean_uptime=100.0, mean_downtime=50.0)
+        nodes = [Node(f"n{i}") for i in range(60)]
+        attach_churn(sim, streams, nodes, profile)
+        horizon = 20_000.0
+        sim.run(until=horizon)
+        fractions = [n.uptime_fraction(horizon) for n in nodes]
+        mean_avail = sum(fractions) / len(fractions)
+        assert abs(mean_avail - profile.availability) < 0.06
+
+    def test_attrition_removes_nodes_permanently(self):
+        sim = Simulator()
+        streams = RngStreams(12)
+        profile = ChurnProfile(mean_uptime=10.0, mean_downtime=10.0, attrition=0.5)
+        nodes = [Node(f"n{i}") for i in range(50)]
+        processes = attach_churn(sim, streams, nodes, profile)
+        sim.run(until=1000.0)
+        departed = [p for p in processes if p.departed]
+        assert len(departed) > 30  # half-life of a few cycles
+        for p in departed:
+            assert not p.node.online
+
+    def test_stop_freezes_state(self):
+        sim = Simulator()
+        streams = RngStreams(13)
+        node = Node("n")
+        [process] = attach_churn(
+            sim, streams, [node], ChurnProfile(mean_uptime=1.0, mean_downtime=1.0)
+        )
+        process.stop()
+        sim.run(until=100.0)
+        assert node.online  # never flipped after stop
+
+    def test_default_profile_by_class(self):
+        sim = Simulator()
+        streams = RngStreams(14)
+        phone = Node("p", node_class=NodeClass.SMARTPHONE)
+        [process] = attach_churn(sim, streams, [phone])
+        assert process.profile is SMARTPHONE_PROFILE
+
+
+class TestTopologies:
+    def test_star_shape(self):
+        g = star("hub", [f"u{i}" for i in range(5)])
+        assert g.degree("hub") == 5
+        assert all(g.degree(f"u{i}") == 1 for i in range(5))
+
+    def test_star_rejects_center_leaf(self):
+        with pytest.raises(NetworkError):
+            star("hub", ["hub"])
+
+    def test_isp_tree_structure(self):
+        g = isp_tree(n_isps=3, users_per_isp=4)
+        isps = [n for n in g if n.startswith("isp")]
+        users = [n for n in g if n.startswith("user")]
+        assert len(isps) == 3
+        assert len(users) == 12
+        # ISPs are fully meshed.
+        assert g.degree("isp0") == 2 + 4
+        assert nx.is_connected(g)
+
+    def test_random_graph_size(self):
+        g = random_graph(50, 0.1, seed=1)
+        assert len(g) == 50
+
+    def test_random_graph_reproducible(self):
+        g1 = random_graph(30, 0.2, seed=7)
+        g2 = random_graph(30, 0.2, seed=7)
+        assert set(g1.edges) == set(g2.edges)
+
+    def test_small_world_params(self):
+        g = small_world(40, k=4, rewire_prob=0.1, seed=2)
+        assert len(g) == 40
+        degrees = [d for _, d in g.degree]
+        assert sum(degrees) / len(degrees) == pytest.approx(4.0, abs=0.5)
+
+    def test_small_world_k_bound(self):
+        with pytest.raises(NetworkError):
+            small_world(5, k=5)
+
+    def test_scale_free_has_hubs(self):
+        g = scale_free(200, m=2, seed=3)
+        degrees = sorted((d for _, d in g.degree), reverse=True)
+        assert degrees[0] > 4 * (sum(degrees) / len(degrees))
+
+    def test_ring_lattice_regular(self):
+        g = ring_lattice(10, k=2)
+        assert all(d == 2 for _, d in g.degree)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(NetworkError):
+            random_graph(0, 0.5, seed=1)
+
+
+class TestFederationHomes:
+    def test_every_user_assigned(self):
+        users = [f"u{i}" for i in range(10)]
+        servers = ["s0", "s1", "s2"]
+        homes = federation_homes(users, servers, seed=1)
+        assert set(homes) == set(users)
+        assert set(homes.values()) <= set(servers)
+
+    def test_balanced_assignment(self):
+        users = [f"u{i}" for i in range(30)]
+        servers = ["s0", "s1", "s2"]
+        homes = federation_homes(users, servers, seed=2)
+        from collections import Counter as C
+
+        counts = C(homes.values())
+        assert all(count == 10 for count in counts.values())
+
+    def test_requires_servers(self):
+        with pytest.raises(NetworkError):
+            federation_homes(["u"], [])
+
+    def test_seed_changes_assignment(self):
+        users = [f"u{i}" for i in range(30)]
+        servers = ["s0", "s1", "s2"]
+        assert federation_homes(users, servers, seed=1) != federation_homes(
+            users, servers, seed=2
+        )

@@ -1,0 +1,194 @@
+"""Tests for Bitswap barter ledgers and guerrilla encrypted-cloud storage."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, CryptoError, StorageError
+from repro.net import ConstantLatency, Network
+from repro.sim import RngStreams, Simulator
+from repro.storage import (
+    BitswapLedger,
+    BitswapPeer,
+    CloudProvider,
+    EncryptedCloudClient,
+    make_random_blob,
+)
+
+
+def make_net(seed=1):
+    sim = Simulator()
+    streams = RngStreams(seed)
+    network = Network(sim, streams, latency=ConstantLatency(0.01))
+    return sim, streams, network
+
+
+class TestBitswapLedger:
+    def test_new_peer_gets_grace(self):
+        ledger = BitswapLedger(choke_debt_ratio=2.0, grace_bytes=1000)
+        assert ledger.should_serve("newcomer")
+
+    def test_freeloader_choked_past_grace(self):
+        ledger = BitswapLedger(choke_debt_ratio=2.0, grace_bytes=1000)
+        ledger.record_sent("leech", 5000)  # we gave 5000, got nothing
+        assert not ledger.should_serve("leech")
+
+    def test_reciprocating_peer_stays_served(self):
+        ledger = BitswapLedger(choke_debt_ratio=2.0, grace_bytes=1000)
+        ledger.record_sent("good", 50_000)
+        ledger.record_received("good", 40_000)
+        assert ledger.should_serve("good")
+
+    def test_debtors_ranked(self):
+        ledger = BitswapLedger()
+        ledger.record_sent("a", 100)
+        ledger.record_sent("b", 10_000)
+        assert ledger.debtors()[0][0] == "b"
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(StorageError):
+            BitswapLedger(choke_debt_ratio=0.0)
+
+
+class TestBitswapExchange:
+    def test_fetch_blob_from_seeder(self):
+        sim, streams, network = make_net(2)
+        seeder = BitswapPeer(network, "seeder")
+        leecher = BitswapPeer(network, "leecher")
+        blob = make_random_blob(streams, 4 * 1024, chunk_size=1024)
+        content_id = seeder.add_blob(blob)
+
+        def scenario():
+            missing = yield from leecher.fetch_blob(
+                ["seeder"], content_id, len(blob.chunks)
+            )
+            return missing
+
+        assert sim.run_process(scenario()) == 0
+        assert leecher.chunk_count(content_id) == len(blob.chunks)
+        # The ledgers agree on the byte flow.
+        assert seeder.ledger.pair("leecher").bytes_sent == blob.size_bytes
+        assert leecher.ledger.pair("seeder").bytes_received == blob.size_bytes
+
+    def test_freeloader_eventually_choked(self):
+        sim, streams, network = make_net(3)
+        seeder = BitswapPeer(network, "seeder", grace_bytes=2048)
+        leech = BitswapPeer(network, "leech", grace_bytes=2048)
+        blob = make_random_blob(streams, 16 * 1024, chunk_size=1024)
+        content_id = seeder.add_blob(blob)
+
+        def scenario():
+            missing = yield from leech.fetch_blob(
+                ["seeder"], content_id, len(blob.chunks)
+            )
+            return missing
+
+        missing = sim.run_process(scenario())
+        # The leech got the grace allowance, then got choked.
+        assert missing > 0
+        assert seeder.chokes_issued > 0
+        assert leech.chunk_count(content_id) < len(blob.chunks)
+
+    def test_reciprocity_unlocks_full_transfer(self):
+        sim, streams, network = make_net(4)
+        peer_a = BitswapPeer(network, "peer-a", grace_bytes=2048)
+        peer_b = BitswapPeer(network, "peer-b", grace_bytes=2048)
+        blob_a = make_random_blob(streams, 16 * 1024, chunk_size=1024, name="a")
+        blob_b = make_random_blob(streams, 16 * 1024, chunk_size=1024, name="b")
+        id_a = peer_a.add_blob(blob_a)
+        id_b = peer_b.add_blob(blob_b)
+
+        def scenario():
+            # Interleaved swapping keeps both ledgers balanced.
+            missing = 0
+            for index in range(len(blob_a.chunks)):
+                missing += (yield from peer_b.fetch_blob(["peer-a"], id_a, index + 1))
+                missing += (yield from peer_a.fetch_blob(["peer-b"], id_b, index + 1))
+            return missing
+
+        assert sim.run_process(scenario()) == 0
+        assert peer_a.chunk_count(id_b) == len(blob_b.chunks)
+        assert peer_b.chunk_count(id_a) == len(blob_a.chunks)
+
+    def test_bitswap_does_not_detect_data_loss(self):
+        # The structural weakness vs audit-based schemes: nothing notices
+        # a peer that holds nothing until you try to fetch.
+        sim, streams, network = make_net(5)
+        empty = BitswapPeer(network, "empty-seeder")
+        leech = BitswapPeer(network, "leech")
+
+        def scenario():
+            return (yield from leech.fetch_blob(["empty-seeder"], "ghost", 4))
+
+        assert sim.run_process(scenario()) == 4  # all chunks missing
+
+
+class TestGuerrillaStorage:
+    def setup_cloud(self, seed=6):
+        sim, streams, network = make_net(seed)
+        provider = CloudProvider(network)
+        client = EncryptedCloudClient(network, "user", provider, secret="k1")
+        return sim, network, provider, client
+
+    def test_put_get_roundtrip(self):
+        sim, network, provider, client = self.setup_cloud()
+
+        def scenario():
+            yield from client.put("diary", b"my secret thoughts")
+            return (yield from client.get("diary"))
+
+        assert sim.run_process(scenario()) == b"my secret thoughts"
+
+    def test_provider_sees_only_ciphertext(self):
+        sim, network, provider, client = self.setup_cloud()
+
+        def scenario():
+            yield from client.put("diary", b"my secret thoughts")
+
+        sim.run_process(scenario())
+        [stored] = provider.surveil().values()
+        assert b"my secret thoughts" not in stored
+
+    def test_tampering_detected(self):
+        sim, network, provider, client = self.setup_cloud()
+
+        def scenario():
+            yield from client.put("doc", b"original")
+            provider.tamper("doc", b"x" * 80)
+            try:
+                yield from client.get("doc")
+            except CryptoError:
+                return "detected"
+
+        assert sim.run_process(scenario()) == "detected"
+
+    def test_censorship_still_possible(self):
+        # The §5.3 residual: encryption removes reading/tampering powers,
+        # not the withholding power.
+        sim, network, provider, client = self.setup_cloud()
+
+        def scenario():
+            yield from client.put("doc", b"data")
+            provider.censor("doc")
+            try:
+                yield from client.get("doc")
+            except AccessDeniedError:
+                return "censored"
+
+        assert sim.run_process(scenario()) == "censored"
+
+    def test_wrong_key_cannot_read(self):
+        sim, network, provider, client = self.setup_cloud()
+        other = EncryptedCloudClient(network, "attacker", provider, secret="k2")
+
+        def scenario():
+            yield from client.put("doc", b"data")
+            try:
+                yield from other.get("doc")
+            except CryptoError:
+                return "locked"
+
+        assert sim.run_process(scenario()) == "locked"
+
+    def test_empty_secret_rejected(self):
+        sim, network, provider, _ = self.setup_cloud()
+        with pytest.raises(CryptoError):
+            EncryptedCloudClient(network, "x", provider, secret="")

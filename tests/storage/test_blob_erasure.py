@@ -1,0 +1,143 @@
+"""Tests for blobs, erasure coding, and sealing."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.sim import RngStreams
+from repro.storage import (
+    DataBlob,
+    ErasureCode,
+    Shard,
+    make_random_blob,
+    seal_blob,
+    seal_chunk,
+    unseal_chunk,
+)
+
+
+class TestDataBlob:
+    def test_from_bytes_chunks_correctly(self):
+        blob = DataBlob.from_bytes(b"x" * 2500, chunk_size=1024)
+        assert len(blob.chunks) == 3
+        assert blob.size_bytes == 2500
+        assert blob.to_bytes() == b"x" * 2500
+
+    def test_content_id_stable_and_sensitive(self):
+        b1 = DataBlob.from_bytes(b"hello world")
+        b2 = DataBlob.from_bytes(b"hello world")
+        b3 = DataBlob.from_bytes(b"hello worle")
+        assert b1.content_id == b2.content_id
+        assert b1.content_id != b3.content_id
+
+    def test_chunk_proofs_verify(self):
+        blob = make_random_blob(RngStreams(1), 4096, chunk_size=512)
+        for index, chunk in enumerate(blob.chunks):
+            assert blob.verify_chunk(index, chunk, blob.proof_for(index))
+
+    def test_wrong_chunk_fails_verification(self):
+        blob = make_random_blob(RngStreams(2), 2048, chunk_size=512)
+        proof = blob.proof_for(0)
+        assert not blob.verify_chunk(0, b"forged", proof)
+
+    def test_proof_index_mismatch_fails(self):
+        blob = make_random_blob(RngStreams(3), 2048, chunk_size=512)
+        proof = blob.proof_for(1)
+        assert not blob.verify_chunk(0, blob.chunks[0], proof)
+
+    def test_empty_rejected(self):
+        with pytest.raises(StorageError):
+            DataBlob.from_bytes(b"")
+        with pytest.raises(StorageError):
+            make_random_blob(RngStreams(1), 0)
+
+    def test_random_blob_reproducible(self):
+        b1 = make_random_blob(RngStreams(7), 1000, name="x")
+        b2 = make_random_blob(RngStreams(7), 1000, name="x")
+        assert b1.content_id == b2.content_id
+
+
+class TestErasureCode:
+    def test_roundtrip_all_shards(self):
+        code = ErasureCode(4, 2)
+        data = b"the quick brown fox jumps over the lazy dog" * 10
+        assert code.decode(code.encode(data)) == data
+
+    def test_any_k_subset_decodes(self):
+        import itertools
+
+        code = ErasureCode(3, 2)
+        data = bytes(range(256)) * 3
+        shards = code.encode(data)
+        for subset in itertools.combinations(shards, 3):
+            assert code.decode(list(subset)) == data
+
+    def test_fewer_than_k_fails(self):
+        code = ErasureCode(3, 2)
+        shards = code.encode(b"data data data")
+        with pytest.raises(StorageError):
+            code.decode(shards[:2])
+
+    def test_storage_overhead(self):
+        assert ErasureCode(4, 2).storage_overhead == pytest.approx(1.5)
+        assert ErasureCode(1, 2).storage_overhead == pytest.approx(3.0)
+
+    def test_erasure_beats_replication_overhead(self):
+        # Tolerating 2 failures: 3x replication vs (4,2) at 1.5x.
+        replication_overhead = 3.0
+        assert ErasureCode(4, 2).storage_overhead < replication_overhead
+
+    def test_single_byte_roundtrip(self):
+        code = ErasureCode(4, 2)
+        assert code.decode(code.encode(b"z")) == b"z"
+
+    def test_duplicate_shards_rejected_for_decode(self):
+        code = ErasureCode(2, 1)
+        shards = code.encode(b"hello world!")
+        with pytest.raises(StorageError):
+            code.decode([shards[0], shards[0]])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(StorageError):
+            ErasureCode(0, 1)
+        with pytest.raises(StorageError):
+            ErasureCode(200, 100)
+
+    def test_corrupt_shard_detected_or_wrong(self):
+        code = ErasureCode(2, 1)
+        data = b"important bytes here"
+        shards = code.encode(data)
+        bad = Shard(1, bytes(b ^ 0xFF for b in shards[1].payload))
+        # Decoding with a corrupted shard must not silently return the
+        # original: either an error or different bytes.
+        try:
+            out = code.decode([shards[0], bad])
+        except StorageError:
+            return
+        assert out != data
+
+
+class TestSealing:
+    def test_seal_unseal_roundtrip(self):
+        chunk = b"chunk payload bytes"
+        sealed = seal_chunk(chunk, "replica-1", 0)
+        assert sealed != chunk
+        assert unseal_chunk(sealed, "replica-1", 0) == chunk
+
+    def test_distinct_replicas_distinct_bytes(self):
+        chunk = b"same plaintext"
+        assert seal_chunk(chunk, "r1", 0) != seal_chunk(chunk, "r2", 0)
+
+    def test_distinct_indices_distinct_keystream(self):
+        chunk = b"same plaintext"
+        assert seal_chunk(chunk, "r1", 0) != seal_chunk(chunk, "r1", 1)
+
+    def test_sealed_blob_has_distinct_commitment(self):
+        blob = make_random_blob(RngStreams(4), 2048, chunk_size=512)
+        sealed1 = seal_blob(blob, "r1")
+        sealed2 = seal_blob(blob, "r2")
+        assert sealed1.merkle_root != blob.merkle_root
+        assert sealed1.merkle_root != sealed2.merkle_root
+
+    def test_empty_replica_id_rejected(self):
+        with pytest.raises(StorageError):
+            seal_chunk(b"x", "", 0)

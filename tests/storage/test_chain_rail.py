@@ -1,0 +1,94 @@
+"""Tests for the on-chain payment rail (ChainRail) used by Table 2's
+blockchain-based storage systems."""
+
+import pytest
+
+from repro.chain import BlockchainNetwork, ConsensusParams
+from repro.crypto import generate_keypair
+from repro.errors import ContractError
+from repro.sim import RngStreams, Simulator
+from repro.storage import ChainRail
+
+FAST = ConsensusParams(
+    target_block_interval=10.0, retarget_interval=100, initial_difficulty=100.0
+)
+
+
+def setup_chain(seed=1):
+    sim = Simulator()
+    streams = RngStreams(seed)
+    consumer = generate_keypair(f"rail-consumer-{seed}")
+    provider = generate_keypair(f"rail-provider-{seed}")
+    chain_net = BlockchainNetwork(
+        sim, streams, params=FAST, propagation_delay=0.3,
+        premine={consumer.public_key: 100.0, provider.public_key: 10.0},
+    )
+    chain_net.add_participant("m1", hashrate=10.0)
+    chain_net.add_participant("m2", hashrate=10.0)
+    chain_net.start()
+    rail = ChainRail(
+        chain_net, chain_net.participant("m1"),
+        keypairs={"consumer": consumer, "provider": provider},
+        confirmations=2,
+    )
+    return sim, chain_net, rail, consumer, provider
+
+
+class TestChainRail:
+    def test_escrow_open_confirms_on_chain(self):
+        sim, chain_net, rail, consumer, provider = setup_chain()
+
+        def scenario():
+            yield from rail.open_escrow("deal-1", "consumer", 20.0, provider="provider")
+            return rail.balance("consumer")
+
+        balance = sim.run_process(scenario(), until=50_000.0)
+        # Escrow + fee deducted from the consumer's on-chain balance.
+        assert balance < 80.0
+        state = chain_net.participant("m1").chain.state_at()
+        contract = state.contracts["deal-1"]
+        assert contract.escrow == pytest.approx(20.0)
+        assert not contract.closed
+
+    def test_close_pays_provider_share(self):
+        sim, chain_net, rail, consumer, provider = setup_chain(seed=2)
+
+        def scenario():
+            yield from rail.open_escrow("deal-1", "consumer", 20.0, provider="provider")
+            yield from rail.close_with_share("deal-1", "consumer", 0.75)
+            return rail.balance("provider")
+
+        provider_balance = sim.run_process(scenario(), until=100_000.0)
+        assert provider_balance == pytest.approx(10.0 + 15.0)
+        state = chain_net.participant("m1").chain.state_at()
+        assert state.contracts["deal-1"].closed
+
+    def test_escrow_latency_is_confirmation_bound(self):
+        # The blockchain rail pays the §3.3 latency cost: opening escrow
+        # takes block confirmations, not a round trip.
+        sim, chain_net, rail, consumer, provider = setup_chain(seed=3)
+
+        def scenario():
+            start = sim.now
+            yield from rail.open_escrow("deal-1", "consumer", 5.0, provider="provider")
+            return sim.now - start
+
+        elapsed = sim.run_process(scenario(), until=50_000.0)
+        assert elapsed >= FAST.target_block_interval / 2  # >= ~1 block
+
+    def test_unknown_account_rejected(self):
+        sim, chain_net, rail, consumer, provider = setup_chain(seed=4)
+        with pytest.raises(ContractError):
+            rail.balance("stranger")
+
+    def test_double_open_rejected_by_ledger(self):
+        sim, chain_net, rail, consumer, provider = setup_chain(seed=5)
+
+        def scenario():
+            yield from rail.open_escrow("deal-1", "consumer", 5.0, provider="provider")
+            try:
+                yield from rail.open_escrow("deal-1", "consumer", 5.0, provider="provider")
+            except ContractError:
+                return "rejected"
+
+        assert sim.run_process(scenario(), until=100_000.0) == "rejected"

@@ -1,0 +1,51 @@
+"""Smoke tests: every example script must run clean and print its story.
+
+These run the examples as subprocesses — exactly what a new user does
+first — so a broken example is a test failure, not a bad first impression.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["200 Tbps", "Done."],
+    "feasibility_study.py": ["Table 3", "video_streaming"],
+    "decentralized_naming.py": ["51% attack", "ATTACKER"],
+    "federated_social.py": ["Matrix", "metadata"],
+    "storage_marketplace.py": ["slashed", "honest-provider"],
+    "webapp_swarm.py": ["popular app", "fork"],
+    "research_agenda.py": ["HARD problems", "agenda"],
+    "overthrow_simulation.py": ["ACT III", "ada still owns ada.community: True"],
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, (
+        f"{name} exited {result.returncode}:\n{result.stderr[-2000:]}"
+    )
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
+def test_example_runs(name):
+    stdout = run_example(name)
+    for marker in EXPECTED_MARKERS[name]:
+        assert marker in stdout, f"{name}: missing {marker!r} in output"
+
+
+def test_all_examples_are_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_MARKERS), (
+        "examples/ and the smoke-test table drifted apart"
+    )

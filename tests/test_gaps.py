@@ -1,0 +1,294 @@
+"""Gap tests: code paths not exercised by the main suites.
+
+Covers the error-type hierarchy, difficulty retargeting details, mempool
+introspection, node handler mechanics, marketplace edge cases, and misc
+helpers — the long tail a downstream user will hit.
+"""
+
+import pytest
+
+from repro import errors
+from repro.chain import (
+    ChainState,
+    ConsensusParams,
+    make_genesis,
+    required_difficulty,
+)
+from repro.chain.block import make_block
+from repro.chain.transaction import make_coinbase
+from repro.errors import (
+    ChainError,
+    InvalidBlockError,
+    NetworkError,
+    ReproError,
+    StorageError,
+)
+from repro.net import ConstantLatency, Network, Node
+from repro.sim import RngStreams, Simulator
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        error_types = [
+            getattr(errors, name)
+            for name in dir(errors)
+            if isinstance(getattr(errors, name), type)
+            and issubclass(getattr(errors, name), Exception)
+        ]
+        for error_type in error_types:
+            assert issubclass(error_type, ReproError) or error_type is ReproError
+
+    def test_specific_parentage(self):
+        assert issubclass(errors.NodeOfflineError, errors.NetworkError)
+        assert issubclass(errors.RpcTimeoutError, errors.NetworkError)
+        assert issubclass(errors.InvalidBlockError, errors.ChainError)
+        assert issubclass(errors.ProofFailedError, errors.StorageError)
+        assert issubclass(errors.NameTakenError, errors.NamingError)
+        assert issubclass(errors.AccessDeniedError, errors.GroupCommError)
+
+    def test_remote_error_carries_cause(self):
+        inner = errors.StorageError("disk full")
+        wrapped = errors.RemoteError(inner)
+        assert wrapped.remote_exception is inner
+        assert "disk full" in str(wrapped)
+
+
+class TestDifficultyRetarget:
+    PARAMS = ConsensusParams(
+        target_block_interval=10.0, retarget_interval=5, initial_difficulty=100.0
+    )
+
+    def build_chain(self, spacing: float):
+        chain = ChainState()
+        parent = chain.genesis
+        for height in range(1, 5):
+            block = make_block(
+                parent=parent,
+                timestamp=parent.timestamp + spacing,
+                miner="m",
+                difficulty=100.0,
+                transactions=[make_coinbase("m", 50.0, height)],
+            )
+            chain.add_block(block)
+            parent = block
+        return chain, parent
+
+    def test_no_retarget_mid_window(self):
+        chain, parent = self.build_chain(spacing=10.0)
+        # Heights 1-4: next height 5 triggers; height 3 does not.
+        mid_parent = chain.block_at_height(2)
+        assert required_difficulty(chain, mid_parent, self.PARAMS) == 100.0
+
+    def test_fast_blocks_raise_difficulty(self):
+        chain, parent = self.build_chain(spacing=2.0)  # 5x too fast
+        adjusted = required_difficulty(chain, parent, self.PARAMS)
+        assert adjusted > 100.0
+
+    def test_slow_blocks_lower_difficulty(self):
+        chain, parent = self.build_chain(spacing=50.0)  # 5x too slow
+        adjusted = required_difficulty(chain, parent, self.PARAMS)
+        assert adjusted < 100.0
+
+    def test_retarget_clamped(self):
+        chain, parent = self.build_chain(spacing=0.01)  # 1000x too fast
+        adjusted = required_difficulty(chain, parent, self.PARAMS)
+        assert adjusted == pytest.approx(100.0 * self.PARAMS.max_retarget_factor)
+
+    def test_genesis_child_uses_initial(self):
+        chain = ChainState()
+        assert required_difficulty(
+            chain, chain.genesis, self.PARAMS
+        ) == self.PARAMS.initial_difficulty
+
+    def test_params_validation(self):
+        with pytest.raises(InvalidBlockError):
+            ConsensusParams(target_block_interval=0.0)
+        with pytest.raises(InvalidBlockError):
+            ConsensusParams(retarget_interval=0)
+        with pytest.raises(InvalidBlockError):
+            ConsensusParams(max_retarget_factor=0.5)
+
+
+class TestMempoolIntrospection:
+    def test_contains_and_pending_order(self):
+        from repro.chain import Mempool, TxKind, make_transaction
+        from repro.crypto import generate_keypair
+
+        alice = generate_keypair("gap-alice")
+        pool = Mempool()
+        low = make_transaction(alice, TxKind.PAY, {"to": "x", "amount": 1}, 0, fee=0.1)
+        high = make_transaction(alice, TxKind.PAY, {"to": "x", "amount": 1}, 1, fee=0.9)
+        pool.add(low)
+        pool.add(high)
+        assert low.txid in pool
+        assert len(pool) == 2
+        assert pool.pending()[0].fee == 0.9  # fee-descending
+
+    def test_full_pool_rejects(self):
+        from repro.chain import Mempool, TxKind, make_transaction
+        from repro.crypto import generate_keypair
+
+        alice = generate_keypair("gap-alice2")
+        pool = Mempool(max_size=1)
+        t1 = make_transaction(alice, TxKind.PAY, {"to": "x", "amount": 1}, 0)
+        t2 = make_transaction(alice, TxKind.PAY, {"to": "x", "amount": 1}, 1)
+        assert pool.add(t1)
+        assert not pool.add(t2)
+        assert pool.rejected == 1
+
+    def test_remove(self):
+        from repro.chain import Mempool, TxKind, make_transaction
+        from repro.crypto import generate_keypair
+
+        alice = generate_keypair("gap-alice3")
+        pool = Mempool()
+        tx = make_transaction(alice, TxKind.PAY, {"to": "x", "amount": 1}, 0)
+        pool.add(tx)
+        pool.remove(tx.txid)
+        assert tx.txid not in pool
+
+
+class TestNodeMechanics:
+    def test_handler_replacement(self):
+        node = Node("n")
+        node.register_handler("m", lambda n, p, s: "first")
+        node.register_handler("m", lambda n, p, s: "second")
+        assert node.dispatch("m", None, "peer") == "second"
+
+    def test_has_handler(self):
+        node = Node("n")
+        assert not node.has_handler("m")
+        node.register_handler("m", lambda n, p, s: None)
+        assert node.has_handler("m")
+
+    def test_dispatch_unknown_method(self):
+        node = Node("n")
+        with pytest.raises(NetworkError):
+            node.dispatch("ghost", None, "peer")
+
+    def test_sessions_counted(self):
+        node = Node("n")
+        node.set_online(False, 1.0)
+        node.set_online(True, 2.0)
+        node.set_online(False, 3.0)
+        node.set_online(True, 4.0)
+        assert node.sessions == 2
+
+
+class TestChainStateQueries:
+    def test_cumulative_work_unknown_block(self):
+        chain = ChainState()
+        with pytest.raises(InvalidBlockError):
+            chain.cumulative_work("0" * 64)
+
+    def test_state_at_unknown_block(self):
+        chain = ChainState()
+        with pytest.raises(InvalidBlockError):
+            chain.state_at("0" * 64)
+
+    def test_state_at_returns_copy(self):
+        chain = ChainState(premine={"a": 10.0})
+        state = chain.state_at()
+        state._credit("a", 1000.0)
+        assert chain.state_at().balance("a") == 10.0
+
+    def test_block_unknown_raises(self):
+        chain = ChainState()
+        with pytest.raises(InvalidBlockError):
+            chain.block("ff" * 32)
+
+    def test_genesis_shape_validation(self):
+        genesis = make_genesis()
+        genesis.validate_shape()  # no coinbase requirement at height 0
+
+
+class TestMarketplaceEdges:
+    def test_cheapest_skips_offline(self):
+        from repro.storage import StorageMarketplace, StorageProvider
+
+        sim = Simulator()
+        streams = RngStreams(41)
+        network = Network(sim, streams, latency=ConstantLatency(0.01))
+        market = StorageMarketplace(network, streams)
+        cheap = StorageProvider(network, "cheap", price_per_gb_epoch=0.001)
+        pricey = StorageProvider(network, "pricey", price_per_gb_epoch=1.0)
+        market.register_provider(cheap)
+        market.register_provider(pricey)
+        network.node("cheap").set_online(False, 0.0)
+        [chosen] = market.cheapest_providers(100, 1)
+        assert chosen.node_id == "pricey"
+
+    def test_deal_lookup(self):
+        from repro.errors import ContractError
+        from repro.storage import StorageMarketplace
+
+        sim = Simulator()
+        streams = RngStreams(42)
+        network = Network(sim, streams)
+        market = StorageMarketplace(network, streams)
+        with pytest.raises(ContractError):
+            market.deal("ghost")
+
+    def test_provider_lookup(self):
+        from repro.storage import StorageMarketplace
+
+        sim = Simulator()
+        streams = RngStreams(43)
+        network = Network(sim, streams)
+        market = StorageMarketplace(network, streams)
+        with pytest.raises(StorageError):
+            market.provider("ghost")
+
+
+class TestSwarmEdges:
+    def test_register_peer_idempotent(self):
+        from repro.webapps import SiteSwarm, Tracker
+
+        sim = Simulator()
+        streams = RngStreams(44)
+        network = Network(sim, streams)
+        swarm = SiteSwarm(network, Tracker(network))
+        swarm.register_peer("p")
+        swarm.register_peer("p")  # no duplicate-node error
+        assert network.has_node("p")
+
+    def test_refusing_unverifiable_bundle(self):
+        from repro.errors import WebAppError
+        from repro.webapps import HostlessSite, SiteBundle, SiteSwarm, Tracker
+
+        sim = Simulator()
+        streams = RngStreams(45)
+        network = Network(sim, streams)
+        swarm = SiteSwarm(network, Tracker(network))
+        site = HostlessSite("gap-site")
+        site.write_file("a", b"data")
+        bundle = site.publish()
+        bad = SiteBundle(manifest=bundle.manifest, files={"a": b"tampered"})
+
+        def scenario():
+            yield from swarm.seed("peer", bad)
+
+        with pytest.raises(WebAppError):
+            sim.run_process(scenario())
+
+
+class TestZookoBehavioural:
+    """The Zooko table is earned: each assessment's 'secure'/'decentralized'
+    bit corresponds to an attack that does or does not exist."""
+
+    def test_centralized_not_decentralized_bit(self):
+        # Backed by: CentralizedPKI.seize_name works (tested in naming).
+        from repro.naming import assess
+
+        assert assess("centralized").decentralized is False
+
+    def test_wot_not_secure_bit(self):
+        # Backed by: WebOfTrust.sybil_attack succeeds with infiltration.
+        from repro.naming import assess
+
+        assert assess("web_of_trust").secure is False
+
+    def test_blockchain_rationale_mentions_caveat(self):
+        from repro.naming import assess
+
+        assert "51" in assess("blockchain").rationale

@@ -1,0 +1,208 @@
+"""Second gap-test batch: transport loss paths, pubsub under failure,
+federation helpers, provider internals, room semantics."""
+
+import pytest
+
+from repro.errors import (
+    GroupCommError,
+    RpcTimeoutError,
+    StorageError,
+)
+from repro.groupcomm import Room, SingleHomeFederation
+from repro.net import ConstantLatency, Network
+from repro.net.topology import ring_lattice
+from repro.sim import RngStreams, Simulator
+
+
+class TestRpcLossPaths:
+    def test_response_can_be_lost(self):
+        # With 50% loss, some RPCs lose the *response* (request delivered,
+        # handler ran, answer dropped) — the caller still times out.
+        sim = Simulator()
+        network = Network(
+            sim, RngStreams(51), latency=ConstantLatency(0.01), loss_rate=0.5
+        )
+        network.create_node("client")
+        server = network.create_node("server")
+        calls = {"handled": 0}
+
+        def handler(node, payload, sender):
+            calls["handled"] += 1
+            return "pong"
+
+        server.register_handler("m", handler)
+        outcomes = {"ok": 0, "timeout": 0}
+
+        def client():
+            for _ in range(60):
+                try:
+                    yield from network.rpc("client", "server", "m", timeout=1.0)
+                    outcomes["ok"] += 1
+                except RpcTimeoutError:
+                    outcomes["timeout"] += 1
+
+        sim.run_process(client())
+        assert outcomes["timeout"] > 0
+        assert outcomes["ok"] > 0
+        # Some handled requests produced lost responses.
+        assert calls["handled"] > outcomes["ok"]
+
+    def test_server_dying_before_response_times_out(self):
+        sim = Simulator()
+        network = Network(sim, RngStreams(52), latency=ConstantLatency(0.01))
+        network.create_node("client")
+        server = network.create_node("server")
+
+        def slow(node, payload, sender):
+            yield 5.0  # dies mid-work
+            return "never sent"
+
+        server.register_handler("m", slow)
+        sim.schedule(1.0, server.set_online, False, 1.0)
+
+        def client():
+            try:
+                yield from network.rpc("client", "server", "m", timeout=10.0)
+            except RpcTimeoutError:
+                return "lost"
+
+        assert sim.run_process(client()) == "lost"
+
+
+class TestPubSubUnderFailure:
+    def test_offline_node_breaks_ring_flood(self):
+        from repro.gossip import build_pubsub_overlay
+
+        sim = Simulator()
+        network = Network(sim, RngStreams(53), latency=ConstantLatency(0.01))
+        graph = ring_lattice(6, k=2)  # pure ring: n3 is a cut vertex set
+        overlay = build_pubsub_overlay(network, graph)
+        for node in overlay.values():
+            node.subscribe("t")
+        # Cut the ring in two places: n1 and n4 offline.
+        network.node("n1").set_online(False, 0.0)
+        network.node("n4").set_online(False, 0.0)
+        overlay["n0"].publish("t", "m")
+        sim.run()
+        # n0's remaining neighbour n5 gets it; n2/n3 are cut off.
+        assert overlay["n5"].received_payloads("t") == ["m"]
+        assert overlay["n2"].received_payloads("t") == []
+        assert overlay["n3"].received_payloads("t") == []
+
+    def test_returning_node_missed_messages_forever(self):
+        # Flooding has no repair: §3.2's connectedness threat under churn.
+        from repro.gossip import build_pubsub_overlay
+
+        sim = Simulator()
+        network = Network(sim, RngStreams(54), latency=ConstantLatency(0.01))
+        graph = ring_lattice(4, k=2)
+        overlay = build_pubsub_overlay(network, graph)
+        for node in overlay.values():
+            node.subscribe("t")
+        network.node("n2").set_online(False, 0.0)
+        overlay["n0"].publish("t", "missed")
+        sim.run()
+        network.node("n2").set_online(True, sim.now)
+        sim.run(until=sim.now + 100.0)
+        assert overlay["n2"].received_payloads("t") == []
+
+
+class TestFederationHelpers:
+    def test_add_users_bulk_assignment(self):
+        sim = Simulator()
+        network = Network(sim, RngStreams(55), latency=ConstantLatency(0.01))
+        fed = SingleHomeFederation(network, ["s0", "s1"])
+        users = [f"u{i}" for i in range(10)]
+        fed.add_users(users, seed=3)
+        homes = {fed.home_of(u) for u in users}
+        assert homes == {"s0", "s1"}
+        # Balanced: 5 per server.
+        from collections import Counter
+
+        counts = Counter(fed.home_of(u) for u in users)
+        assert set(counts.values()) == {5}
+
+    def test_unknown_server_rejected(self):
+        sim = Simulator()
+        network = Network(sim, RngStreams(56))
+        fed = SingleHomeFederation(network, ["s0"])
+        with pytest.raises(GroupCommError):
+            fed.add_user("u", home="mystery")
+
+    def test_room_membership_check_before_creation(self):
+        sim = Simulator()
+        network = Network(sim, RngStreams(57))
+        fed = SingleHomeFederation(network, ["s0"])
+        with pytest.raises(GroupCommError):
+            fed.create_room("r", ["homeless-user"])
+
+    def test_servers_for_room(self):
+        sim = Simulator()
+        network = Network(sim, RngStreams(58))
+        fed = SingleHomeFederation(network, ["s0", "s1", "s2"])
+        fed.add_user("a", home="s0")
+        fed.add_user("b", home="s1")
+        fed.create_room("r", ["a", "b"])
+        assert fed.servers_for_room("r") == {"s0", "s1"}
+
+
+class TestRoomSemantics:
+    def test_public_room_admits_anyone(self):
+        room = Room("plaza", set(), public=True)
+        room.require_member("stranger")  # no exception
+
+    def test_private_room_rejects_non_member(self):
+        room = Room("private", {"alice"})
+        with pytest.raises(GroupCommError):
+            room.require_member("stranger")
+
+    def test_membership_management(self):
+        room = Room("r", set())
+        room.add_member("alice")
+        room.require_member("alice")
+        room.remove_member("alice")
+        with pytest.raises(GroupCommError):
+            room.require_member("alice")
+
+
+class TestProviderInternals:
+    def test_incremental_put_accumulates(self):
+        from repro.storage import StorageProvider, make_random_blob
+
+        sim = Simulator()
+        streams = RngStreams(59)
+        network = Network(sim, streams, latency=ConstantLatency(0.01))
+        provider = StorageProvider(network, "p")
+        network.create_node("client")
+        blob = make_random_blob(streams, 4 * 512, chunk_size=512)
+
+        def scenario():
+            # Upload chunk by chunk (resumable transfer).
+            for index, chunk in enumerate(blob.chunks):
+                yield from network.rpc(
+                    "client", "p", "store.put",
+                    {
+                        "commitment_id": blob.merkle_root,
+                        "chunk_count": len(blob.chunks),
+                        "entries": [(index, chunk, blob.proof_for(index))],
+                    },
+                )
+            return provider.commitments[blob.merkle_root]
+
+        stored = sim.run_process(scenario())
+        assert len(stored.payloads) == 4
+        assert stored.physically_stored_bytes == blob.size_bytes
+
+    def test_drop_chunks_validation(self):
+        from repro.storage import StorageProvider, make_random_blob
+
+        sim = Simulator()
+        streams = RngStreams(60)
+        network = Network(sim, streams)
+        provider = StorageProvider(network, "p")
+        blob = make_random_blob(streams, 1024, chunk_size=512)
+        provider.accept_blob(blob)
+        with pytest.raises(StorageError):
+            provider.drop_chunks(blob.merkle_root, 1.5, streams.stream("x"))
+        with pytest.raises(StorageError):
+            provider.drop_chunks("unknown", 0.5, streams.stream("x"))

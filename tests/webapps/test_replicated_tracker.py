@@ -1,0 +1,151 @@
+"""Tests for the replicated tracker (SPOF elimination, §5.1) and DHT
+bucket refresh maintenance."""
+
+import pytest
+
+from repro.dht import DhtConfig, build_overlay
+from repro.errors import WebAppError
+from repro.net import ConstantLatency, Network
+from repro.sim import RngStreams, Simulator
+from repro.webapps import HostlessSite, ReplicatedTracker, SiteSwarm
+
+
+def make_env(seed=1):
+    sim = Simulator()
+    streams = RngStreams(seed)
+    network = Network(sim, streams, latency=ConstantLatency(0.01))
+    tracker = ReplicatedTracker(network, streams, gossip_interval=2.0)
+    swarm = SiteSwarm(network, tracker)
+    return sim, streams, network, tracker, swarm
+
+
+def make_bundle(seed="rt-site"):
+    site = HostlessSite(seed)
+    site.write_file("index.html", b"<h1>replicated discovery</h1>")
+    return site.publish()
+
+
+class TestReplicatedTracker:
+    def test_announce_visible_on_every_replica_after_gossip(self):
+        sim, streams, network, tracker, swarm = make_env()
+        tracker.start_replication()
+
+        def scenario():
+            network.create_node("seeder")
+            yield from tracker.announce("seeder", "site-x")
+            yield 60.0  # gossip converges
+            peers_per_replica = []
+            for tracker_id in tracker.tracker_ids:
+                peers = yield from network.rpc(
+                    "seeder", tracker_id, "tracker.get_peers", {"site": "site-x"}
+                )
+                peers_per_replica.append(peers)
+            tracker.stop_replication()
+            return peers_per_replica
+
+        views = sim.run_process(scenario(), until=2000.0)
+        assert all(view == ["seeder"] for view in views)
+
+    def test_discovery_survives_tracker_death(self):
+        sim, streams, network, tracker, swarm = make_env(seed=2)
+        tracker.start_replication()
+        bundle = make_bundle()
+        address = bundle.manifest.site_address
+
+        def scenario():
+            yield from swarm.seed("author", bundle)
+            yield 60.0  # replicate the announcement
+            # Kill the first tracker replica (the one clients try first).
+            network.node(tracker.tracker_ids[0]).set_online(False, sim.now)
+            fetched = yield from swarm.visit("visitor", address)
+            tracker.stop_replication()
+            return fetched
+
+        fetched = sim.run_process(scenario(), until=2000.0)
+        assert fetched.verify()
+
+    def test_all_trackers_down_is_still_an_outage(self):
+        sim, streams, network, tracker, swarm = make_env(seed=3)
+        bundle = make_bundle("rt-site-2")
+        address = bundle.manifest.site_address
+
+        def scenario():
+            yield from swarm.seed("author", bundle)
+            for tracker_id in tracker.tracker_ids:
+                network.node(tracker_id).set_online(False, sim.now)
+            try:
+                yield from swarm.visit("visitor", address)
+            except WebAppError:
+                return "outage"
+
+        assert sim.run_process(scenario(), until=2000.0) == "outage"
+
+    def test_depart_propagates(self):
+        sim, streams, network, tracker, swarm = make_env(seed=4)
+        tracker.start_replication()
+
+        def scenario():
+            network.create_node("seeder")
+            yield from tracker.announce("seeder", "site-y")
+            yield 30.0
+            yield from tracker.depart("seeder", "site-y")
+            yield 60.0
+            views = []
+            for tracker_id in tracker.tracker_ids:
+                peers = yield from network.rpc(
+                    "seeder", tracker_id, "tracker.get_peers", {"site": "site-y"}
+                )
+                views.append(peers)
+            tracker.stop_replication()
+            return views
+
+        views = sim.run_process(scenario(), until=2000.0)
+        assert all(view == [] for view in views)
+
+    def test_requires_tracker_ids(self):
+        sim = Simulator()
+        streams = RngStreams(5)
+        network = Network(sim, streams)
+        with pytest.raises(WebAppError):
+            ReplicatedTracker(network, streams, tracker_ids=[])
+
+
+class TestDhtRefresh:
+    def test_refresh_evicts_dead_contacts(self):
+        sim = Simulator()
+        streams = RngStreams(6)
+        network = Network(sim, streams, latency=ConstantLatency(0.01))
+        overlay = build_overlay(
+            network, [f"n{i}" for i in range(20)], DhtConfig(k=4, alpha=2)
+        )
+        # Kill several nodes; n0's table still references some of them.
+        dead = [f"n{i}" for i in range(10, 16)]
+        for name in dead:
+            network.node(name).set_online(False, sim.now)
+        known_dead_before = [d for d in dead if overlay["n0"].table.knows(d)]
+        assert known_dead_before  # otherwise the test proves nothing
+
+        def scenario():
+            buckets = yield from overlay["n0"].refresh_buckets(
+                streams.stream("refresh")
+            )
+            return buckets
+
+        refreshed = sim.run_process(scenario())
+        assert refreshed > 0
+        still_known = [d for d in known_dead_before if overlay["n0"].table.knows(d)]
+        assert len(still_known) < len(known_dead_before)
+
+    def test_periodic_refresh_loop_runs_and_stops(self):
+        sim = Simulator()
+        streams = RngStreams(7)
+        network = Network(sim, streams, latency=ConstantLatency(0.01))
+        overlay = build_overlay(
+            network, [f"n{i}" for i in range(10)], DhtConfig(k=4, alpha=2)
+        )
+        node = overlay["n0"]
+        node.start_refreshing(streams.stream("refresh"), interval=50.0)
+        sim.run(until=300.0)
+        node.stop_refreshing()
+        sim.run(until=400.0)  # loop exits; queue drains
+        assert True  # reaching here without deadlock is the assertion
