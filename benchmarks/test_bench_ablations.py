@@ -12,25 +12,52 @@ from benchmarks.conftest import emit
 from repro.analysis import render_table
 
 
-def test_bench_determinism(benchmark):
-    """Same seed -> bit-identical experiment outputs; different seed ->
-    (almost surely) different trajectories."""
-    from repro.analysis import run_federation_availability, run_swarm_availability
+def test_bench_determinism(benchmark, tmp_path):
+    """Same seed -> bit-identical experiment outputs — whether the grid
+    runs serial, on a process pool, or replays from the on-disk cache;
+    different seed -> (almost surely) different trajectories."""
+    from repro.analysis import (
+        SweepCache,
+        SweepRunner,
+        run_federation_availability,
+        run_swarm_availability,
+    )
 
-    def run_twice():
-        a1 = run_swarm_availability(seed=3, offered_loads=(2.0,))
-        a2 = run_swarm_availability(seed=3, offered_loads=(2.0,))
-        b = run_swarm_availability(seed=4, offered_loads=(2.0,))
+    loads = (0.5, 2.0)
+
+    def run_every_way():
+        serial = run_swarm_availability(seed=3, offered_loads=loads)
+        parallel = run_swarm_availability(
+            seed=3, offered_loads=loads, runner=SweepRunner(workers=2)
+        )
+        cold = run_swarm_availability(
+            seed=3, offered_loads=loads,
+            runner=SweepRunner(cache=SweepCache(tmp_path)),
+        )
+        warm_runner = SweepRunner(cache=SweepCache(tmp_path))
+        warm = run_swarm_availability(
+            seed=3, offered_loads=loads, runner=warm_runner
+        )
+        other_seed = run_swarm_availability(seed=4, offered_loads=loads)
         f1 = run_federation_availability(seed=5)
-        f2 = run_federation_availability(seed=5)
-        return a1, a2, b, f1, f2
+        f2 = run_federation_availability(
+            seed=5, runner=SweepRunner(workers=3)
+        )
+        return serial, parallel, cold, warm, warm_runner, other_seed, f1, f2
 
-    a1, a2, b, f1, f2 = benchmark.pedantic(run_twice, rounds=1, iterations=1)
-    assert a1 == a2
+    serial, parallel, cold, warm, warm_runner, other_seed, f1, f2 = (
+        benchmark.pedantic(run_every_way, rounds=1, iterations=1)
+    )
+    assert serial == parallel == cold == warm
     assert f1 == f2
+    # The warm pass replayed everything: zero recomputation.
+    assert warm_runner.stats.misses == 0
+    assert warm_runner.stats.hits == len(loads)
     # Different seeds draw different visitor processes.
-    assert a1[0]["arrivals"] != b[0]["arrivals"]
-    emit("Determinism", "same-seed runs identical; cross-seed runs differ")
+    assert serial[1]["arrivals"] != other_seed[1]["arrivals"]
+    emit("Determinism",
+         "serial == parallel == cached-replay; cross-seed runs differ"
+         f" (warm cache: {warm_runner.stats.hits} hits, 0 misses)")
 
 
 def test_bench_erasure_vs_replication(benchmark):

@@ -8,6 +8,7 @@ Usage::
     python -m repro zooko             # the Zooko's-triangle assessment
     python -m repro agenda            # the §5 research agenda
     python -m repro experiment E4     # any DESIGN.md experiment driver
+    python -m repro sweep E8 --workers 4   # grid drivers, parallel + cached
     python -m repro list              # what can be run
 
 Experiment runs use small default parameters (seconds of wall clock);
@@ -97,6 +98,69 @@ def _register_experiments() -> None:
     })
 
 
+# Grid-shaped drivers the parallel runner can fan out (driver defaults;
+# --seed overrides the base seed where the driver takes one).
+_SWEEPABLE: Dict[str, Callable[..., object]] = {}
+
+
+def _register_sweeps() -> None:
+    from repro.analysis import (
+        run_federation_availability,
+        run_feasibility,
+        run_naming_comparison,
+        run_proof_economics,
+        run_quality_vs_quantity,
+        run_social_tradeoff,
+        run_swarm_availability,
+    )
+    from repro.analysis.experiments import run_usenet_collapse
+
+    _SWEEPABLE.update({
+        "E3": lambda runner, seed: run_feasibility(runner=runner)["table3"],
+        "E4": lambda runner, seed: run_federation_availability(
+            seed=seed, runner=runner),
+        "E5": lambda runner, seed: run_social_tradeoff(
+            seed=seed, runner=runner),
+        "E6A": lambda runner, seed: run_naming_comparison(
+            seed=seed, runner=runner),
+        "E7": lambda runner, seed: run_proof_economics(
+            seed=seed, runner=runner),
+        "E8": lambda runner, seed: run_swarm_availability(
+            seed=seed, runner=runner),
+        "E9": lambda runner, seed: run_quality_vs_quantity(
+            seed=seed, runner=runner),
+        "E11": lambda runner, seed: run_usenet_collapse(
+            seed=seed, runner=runner),
+    })
+
+
+def _sweep(args) -> int:
+    from repro.analysis import SweepCache, SweepRunner
+
+    _register_sweeps()
+    driver = _SWEEPABLE.get(args.name.upper())
+    if driver is None:
+        print(f"unknown sweep {args.name!r}; sweepable:"
+              f" {', '.join(sorted(_SWEEPABLE))}", file=sys.stderr)
+        return 2
+    if args.chunksize < 1:
+        print(f"--chunksize must be >= 1, got {args.chunksize}",
+              file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else SweepCache(args.cache_dir)
+    runner = SweepRunner(workers=args.workers, cache=cache,
+                         chunksize=args.chunksize)
+    rows = driver(runner, args.seed)
+    print(render_table(list(rows)))
+    print()
+    print(render_table(runner.stats.summary_rows()))
+    if cache is not None:
+        print(f"\ncache: {cache.cache_dir}"
+              + (f" ({cache.corrupt_files} corrupt file(s) ignored)"
+                 if cache.corrupt_files else ""))
+    return 0
+
+
 def _experiment(name: str) -> int:
     _register_experiments()
     runner = _EXPERIMENTS.get(name.upper())
@@ -120,6 +184,22 @@ def main(argv: List[str] = None) -> int:
         sub.add_parser(name)
     experiment = sub.add_parser("experiment")
     experiment.add_argument("name", help="experiment id, e.g. E4 or E6b")
+    sweep_cmd = sub.add_parser(
+        "sweep",
+        help="run a grid driver through the parallel, cached runner",
+    )
+    sweep_cmd.add_argument("name", help="sweepable experiment id, e.g. E8")
+    sweep_cmd.add_argument("--workers", type=int, default=1,
+                           help="worker processes (default: 1, serial)")
+    sweep_cmd.add_argument("--no-cache", action="store_true",
+                           help="always recompute; do not touch the cache")
+    sweep_cmd.add_argument("--cache-dir", default=None,
+                           help="cache directory (default: $REPRO_CACHE_DIR"
+                                " or .repro_cache)")
+    sweep_cmd.add_argument("--seed", type=int, default=1,
+                           help="base seed passed to the driver")
+    sweep_cmd.add_argument("--chunksize", type=int, default=1,
+                           help="grid points per worker dispatch")
     args = parser.parse_args(argv)
 
     if args.command == "table1":
@@ -134,6 +214,8 @@ def main(argv: List[str] = None) -> int:
         _agenda()
     elif args.command == "experiment":
         return _experiment(args.name)
+    elif args.command == "sweep":
+        return _sweep(args)
     elif args.command == "verify":
         from repro.analysis import verify_reproduction
 
@@ -144,9 +226,12 @@ def main(argv: List[str] = None) -> int:
         print("\nAll reproduction targets hold.")
     elif args.command == "list":
         _register_experiments()
+        _register_sweeps()
         print("tables: table1 table2 table3")
         print("other:  zooko agenda verify")
         print(f"experiments: {' '.join(sorted(_EXPERIMENTS))}")
+        print(f"sweepable (python -m repro sweep <id> --workers N):"
+              f" {' '.join(sorted(_SWEEPABLE))}")
     else:
         parser.print_help()
         return 1

@@ -12,6 +12,13 @@ from repro.analysis.experiments import (
     run_swarm_availability,
 )
 from repro.analysis.figures import ascii_plot, sparkline
+from repro.analysis.runner import (
+    RunnerStats,
+    SweepCache,
+    SweepRunner,
+    canonical_config_hash,
+    derive_task_seed,
+)
 from repro.analysis.sweep import cross_product, sweep
 from repro.analysis.verification import verify_reproduction
 from repro.analysis.tables import render_kv, render_table
@@ -28,6 +35,11 @@ __all__ = [
     "run_quality_vs_quantity",
     "sweep",
     "cross_product",
+    "SweepRunner",
+    "SweepCache",
+    "RunnerStats",
+    "canonical_config_hash",
+    "derive_task_seed",
     "render_table",
     "render_kv",
     "sparkline",

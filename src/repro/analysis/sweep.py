@@ -1,8 +1,16 @@
-"""Generic parameter-sweep helper used by benches and examples."""
+"""Generic parameter-sweep helpers used by benches and examples.
+
+Both helpers route through :mod:`repro.analysis.runner`: ``sweep``
+executes via a :class:`~repro.analysis.runner.SweepRunner` (serial and
+uncached by default, parallel/cached when the caller passes one), and
+``cross_product`` builds the config grids the runner consumes.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.runner import SweepRunner
 
 __all__ = ["sweep", "cross_product"]
 
@@ -11,26 +19,42 @@ def sweep(
     run: Callable[..., Any],
     parameter: str,
     values: Iterable[Any],
+    *,
+    runner: Optional[SweepRunner] = None,
+    experiment: Optional[str] = None,
     **fixed: Any,
 ) -> List[Dict[str, Any]]:
     """Run ``run(**fixed, parameter=value)`` per value.
 
-    Returns rows of ``{parameter: value, "result": result}``.
+    Returns rows of ``{parameter: value, "result": result}``, in the
+    order of ``values`` regardless of how the runner schedules them.
+    Pass ``runner=SweepRunner(workers=N, cache=...)`` to parallelize or
+    memoize; the default is the exact serial loop this helper always was.
     """
-    rows = []
-    for value in values:
-        kwargs = dict(fixed)
-        kwargs[parameter] = value
-        rows.append({parameter: value, "result": run(**kwargs)})
-    return rows
+    values = list(values)
+    runner = runner or SweepRunner()
+    name = experiment or getattr(run, "__name__", "sweep")
+    configs = [dict(fixed, **{parameter: value}) for value in values]
+    results = runner.run(name, run, configs)
+    return [
+        {parameter: value, "result": result}
+        for value, result in zip(values, results)
+    ]
 
 
 def cross_product(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
-    """All combinations of named axes, as kwargs dicts (stable order)."""
-    names = sorted(axes)
+    """All combinations of named axes, as kwargs dicts.
+
+    Axes expand in **caller order** (keyword/dict insertion order), so
+    sweep rows come out in the order the caller named the axes — the
+    last-named axis varies fastest.  Cache identity is unaffected by
+    axis order: :func:`repro.analysis.runner.canonical_config_hash`
+    serializes configs with sorted keys, so reordering axes reorders
+    rows without invalidating any cached result.
+    """
     combos: List[Dict[str, Any]] = [{}]
-    for name in names:
+    for name, values in axes.items():
         combos = [
-            {**combo, name: value} for combo in combos for value in axes[name]
+            {**combo, name: value} for combo in combos for value in values
         ]
     return combos

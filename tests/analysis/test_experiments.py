@@ -49,6 +49,30 @@ class TestSweepHelpers:
         combos = cross_product(a=[1, 2], b=["x"])
         assert combos == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
 
+    def test_cross_product_preserves_caller_axis_order(self):
+        # Axes expand in the order the caller named them (the last axis
+        # varies fastest) — NOT alphabetically.
+        combos = cross_product(beta=["x", "y"], alpha=[1, 2])
+        assert combos == [
+            {"beta": "x", "alpha": 1},
+            {"beta": "x", "alpha": 2},
+            {"beta": "y", "alpha": 1},
+            {"beta": "y", "alpha": 2},
+        ]
+        assert [list(combo) for combo in combos] == [["beta", "alpha"]] * 4
+
+    def test_cross_product_axis_order_never_changes_cache_identity(self):
+        # Config hashing canonicalizes with sorted keys, so reordering
+        # axes reorders rows without invalidating any cached result.
+        from repro.analysis import canonical_config_hash
+
+        forward = cross_product(a=[1], b=[2])[0]
+        backward = cross_product(b=[2], a=[1])[0]
+        assert list(forward) != list(backward)  # different row key order
+        assert canonical_config_hash(forward) == canonical_config_hash(
+            backward
+        )
+
 
 class TestDriverShapes:
     def test_feasibility_shape(self):

@@ -1,0 +1,157 @@
+"""Cache correctness for the sweep runner.
+
+Covers: config-hash stability across dict key order, invalidation on
+parameter and code change, ``--no-cache`` bypass, corrupted-cache-file
+recovery, and the uncacheable-result path.
+"""
+
+import json
+
+import pytest
+
+import repro.analysis.runner as runner_module
+from repro.analysis import (
+    SweepCache,
+    SweepRunner,
+    canonical_config_hash,
+)
+from repro.__main__ import main
+
+
+def _double(x: int = 0):
+    """Top-level, picklable, and cheap — the cache tests' experiment."""
+    return {"x": x, "doubled": 2 * x}
+
+
+def _opaque(x: int = 0):
+    """Returns something JSON can't round-trip (a set)."""
+    return {"x", x}
+
+
+class TestConfigHashing:
+    def test_hash_independent_of_key_order(self):
+        forward = {"alpha": 1, "beta": [2, 3], "gamma": {"a": 1, "b": 2}}
+        backward = {"gamma": {"b": 2, "a": 1}, "beta": [2, 3], "alpha": 1}
+        assert canonical_config_hash(forward) == canonical_config_hash(backward)
+
+    def test_hash_sensitive_to_values(self):
+        assert (
+            canonical_config_hash({"a": 1})
+            != canonical_config_hash({"a": 2})
+        )
+        assert (
+            canonical_config_hash({"a": 1})
+            != canonical_config_hash({"b": 1})
+        )
+
+
+class TestCacheHitsAndInvalidation:
+    def test_same_config_hits_changed_config_misses(self, tmp_path):
+        first = SweepRunner(cache=SweepCache(tmp_path))
+        first.run("double", _double, [{"x": 1}, {"x": 2}])
+        assert first.stats.misses == 2
+
+        second = SweepRunner(cache=SweepCache(tmp_path))
+        results = second.run("double", _double, [{"x": 1}, {"x": 3}])
+        assert results == [{"x": 1, "doubled": 2}, {"x": 3, "doubled": 6}]
+        assert second.stats.hits == 1  # x=1 replayed
+        assert second.stats.misses == 1  # x=3 is a new parameter point
+
+    def test_key_order_of_config_does_not_defeat_cache(self, tmp_path):
+        SweepRunner(cache=SweepCache(tmp_path)).run(
+            "double", _double, [{"x": 1}]
+        )
+        replayer = SweepRunner(cache=SweepCache(tmp_path))
+        replayer.run("double", _double, [dict([("x", 1)])])
+        assert replayer.stats.hits == 1
+
+    def test_code_version_change_invalidates(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(runner_module, "code_version", lambda fn: "v1")
+        SweepRunner(cache=SweepCache(tmp_path)).run(
+            "double", _double, [{"x": 1}]
+        )
+        monkeypatch.setattr(runner_module, "code_version", lambda fn: "v2")
+        fresh = SweepRunner(cache=SweepCache(tmp_path))
+        fresh.run("double", _double, [{"x": 1}])
+        assert fresh.stats.hits == 0
+        assert fresh.stats.misses == 1
+        # Old-version entry still present alongside the new one.
+        payload = json.loads(
+            SweepCache(tmp_path).path_for("double").read_text()
+        )
+        versions = {key.split(":")[0] for key in payload["entries"]}
+        assert versions == {"v1", "v2"}
+
+    def test_experiments_do_not_share_entries(self, tmp_path):
+        SweepRunner(cache=SweepCache(tmp_path)).run(
+            "double-a", _double, [{"x": 1}]
+        )
+        other = SweepRunner(cache=SweepCache(tmp_path))
+        other.run("double-b", _double, [{"x": 1}])
+        assert other.stats.misses == 1
+
+
+class TestNoCacheBypass:
+    def test_runner_without_cache_always_recomputes(self, tmp_path):
+        for _ in range(2):
+            runner = SweepRunner(cache=None)
+            runner.run("double", _double, [{"x": 1}])
+            assert runner.stats.hits == 0
+            assert runner.stats.misses == 1
+        assert list(tmp_path.iterdir()) == []  # nothing ever written
+
+    def test_cli_no_cache_flag(self, tmp_path, capsys):
+        assert main([
+            "sweep", "E4", "--no-cache", "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cache_misses" in out
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestCorruptedCacheRecovery:
+    @pytest.mark.parametrize("garbage", [
+        b"{not json at all",
+        b'{"schema": 999, "entries": "wrong shape"}',
+        b'["a", "list", "payload"]',
+        b"",
+    ], ids=["truncated", "bad-schema", "wrong-type", "empty"])
+    def test_corrupt_file_is_a_miss_not_a_crash(self, tmp_path, garbage):
+        cache = SweepCache(tmp_path)
+        SweepRunner(cache=cache).run("double", _double, [{"x": 5}])
+        path = cache.path_for("double")
+        path.write_bytes(garbage)
+
+        recovering = SweepCache(tmp_path)
+        runner = SweepRunner(cache=recovering)
+        results = runner.run("double", _double, [{"x": 5}])
+        assert results == [{"x": 5, "doubled": 10}]
+        assert runner.stats.misses == 1  # corrupt entry not trusted
+        assert recovering.corrupt_files >= 1
+
+        # ...and the store after recovery rewrote a valid file.
+        healed = SweepCache(tmp_path)
+        replay = SweepRunner(cache=healed)
+        assert replay.run("double", _double, [{"x": 5}]) == results
+        assert replay.stats.hits == 1
+
+
+class TestUncacheableResults:
+    def test_non_json_result_is_returned_but_not_stored(self, tmp_path):
+        runner = SweepRunner(cache=SweepCache(tmp_path))
+        results = runner.run("opaque", _opaque, [{"x": 1}])
+        assert results == [{"x", 1}]
+        assert runner.stats.uncacheable == 1
+        rerun = SweepRunner(cache=SweepCache(tmp_path))
+        assert rerun.run("opaque", _opaque, [{"x": 1}]) == results
+        assert rerun.stats.hits == 0  # never memoized
+
+
+class TestSerialFallback:
+    def test_unpicklable_fn_falls_back_to_inline(self):
+        runner = SweepRunner(workers=4)
+        results = runner.run(
+            "lambda", lambda x: x + 1, [{"x": 1}, {"x": 2}]
+        )
+        assert results == [2, 3]
+        assert runner.stats.serial_fallbacks == 1

@@ -1,0 +1,54 @@
+"""Golden-value regression test for Table 3 (E3).
+
+These are the exact numbers the paper states (and the derived values the
+reproduction adds).  A feasibility refactor that drifts any of them must
+fail here, loudly, rather than slip through shape-only tests.
+"""
+
+from repro.analysis import SweepCache, SweepRunner
+from repro.analysis.experiments import run_feasibility
+
+GOLDEN_TABLE3 = [
+    {"resource": "Bandwidth", "cloud": "200 Tbps", "devices": "5000 Tbps"},
+    {"resource": "Cores", "cloud": "400 M", "devices": "500 M"},
+    {"resource": "Storage", "cloud": "80 EB", "devices": "210 EB"},
+]
+
+GOLDEN_RATIOS = {"bandwidth": 25.0, "cores": 1.25, "storage": 2.625}
+
+GOLDEN_BREAKEVEN_CORE_DISCOUNT = 10.0
+
+
+class TestTable3Golden:
+    def test_exact_paper_cells(self):
+        result = run_feasibility()
+        assert result["table3"] == GOLDEN_TABLE3
+
+    def test_sufficiency_verdict(self):
+        result = run_feasibility()
+        assert result["sufficient"] == {
+            "bandwidth": True, "cores": True, "storage": True,
+        }
+
+    def test_derived_ratios_and_breakeven(self):
+        result = run_feasibility()
+        assert result["ratios"] == GOLDEN_RATIOS
+        assert (
+            result["breakeven_core_discount"]
+            == GOLDEN_BREAKEVEN_CORE_DISCOUNT
+        )
+
+    def test_runner_and_cached_replay_preserve_golden_values(self, tmp_path):
+        """The same goldens hold through the runner, cold and warm."""
+        cold_runner = SweepRunner(cache=SweepCache(tmp_path))
+        cold = run_feasibility(runner=cold_runner)
+        assert cold["table3"] == GOLDEN_TABLE3
+        assert cold_runner.stats.misses == 1
+
+        warm_runner = SweepRunner(cache=SweepCache(tmp_path))
+        warm = run_feasibility(runner=warm_runner)
+        assert warm == cold
+        assert warm["table3"] == GOLDEN_TABLE3
+        assert warm["ratios"] == GOLDEN_RATIOS
+        assert warm_runner.stats.misses == 0
+        assert warm_runner.stats.hits == 1

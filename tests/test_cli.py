@@ -56,6 +56,40 @@ class TestCli:
         assert "Regenerate artifacts" in capsys.readouterr().out
 
 
+class TestSweepCommand:
+    def test_sweep_cold_then_warm_cache(self, capsys, tmp_path):
+        assert main(["sweep", "E4", "--cache-dir", str(tmp_path)]) == 0
+        cold = capsys.readouterr().out
+        assert "read_availability" in cold
+        assert "cache_misses" in cold
+
+        assert main(["sweep", "E4", "--cache-dir", str(tmp_path)]) == 0
+        warm = capsys.readouterr().out
+        # Zero recomputation on the warm run, and identical rows.
+        warm_summary = warm.splitlines()
+        assert any(
+            line.startswith("3      3           0")
+            for line in warm_summary
+        ), f"expected 3 hits / 0 misses in:\n{warm}"
+        assert cold.split("\n\n")[0] == warm.split("\n\n")[0]
+
+    def test_sweep_parallel_workers(self, capsys, tmp_path):
+        assert main([
+            "sweep", "E4", "--workers", "2", "--no-cache",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "replicated_failover" in out
+
+    def test_sweep_unknown_experiment(self, capsys):
+        assert main(["sweep", "E99"]) == 2
+        assert "unknown sweep" in capsys.readouterr().err
+
+    def test_list_mentions_sweepable(self, capsys):
+        assert main(["list"]) == 0
+        assert "sweepable" in capsys.readouterr().out
+
+
 class TestVerifyCommand:
     def test_verify_passes_and_exits_zero(self, capsys):
         assert main(["verify"]) == 0
