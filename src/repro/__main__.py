@@ -9,6 +9,7 @@ Usage::
     python -m repro agenda            # the §5 research agenda
     python -m repro experiment E4     # any DESIGN.md experiment driver
     python -m repro sweep E8 --workers 4   # grid drivers, parallel + cached
+    python -m repro lint              # determinism/invariant linter
     python -m repro list              # what can be run
 
 Experiment runs use small default parameters (seconds of wall clock);
@@ -200,6 +201,13 @@ def main(argv: List[str] = None) -> int:
                            help="base seed passed to the driver")
     sweep_cmd.add_argument("--chunksize", type=int, default=1,
                            help="grid points per worker dispatch")
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="run the determinism & simulation-invariant linter",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint_cmd)
     args = parser.parse_args(argv)
 
     if args.command == "table1":
@@ -216,6 +224,10 @@ def main(argv: List[str] = None) -> int:
         return _experiment(args.name)
     elif args.command == "sweep":
         return _sweep(args)
+    elif args.command == "lint":
+        from repro.lint.cli import run_lint
+
+        return run_lint(args)
     elif args.command == "verify":
         from repro.analysis import verify_reproduction
 
@@ -228,7 +240,7 @@ def main(argv: List[str] = None) -> int:
         _register_experiments()
         _register_sweeps()
         print("tables: table1 table2 table3")
-        print("other:  zooko agenda verify")
+        print("other:  zooko agenda verify lint")
         print(f"experiments: {' '.join(sorted(_EXPERIMENTS))}")
         print(f"sweepable (python -m repro sweep <id> --workers N):"
               f" {' '.join(sorted(_SWEEPABLE))}")

@@ -434,7 +434,10 @@ class SweepRunner:
             pickle.dumps(fn)
             for _index, _key, kwargs in pending:
                 pickle.dumps(kwargs)
-        except Exception:
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # The three ways pickling a callable/config actually fails:
+            # PicklingError (unpicklable object graph), AttributeError
+            # (lambdas / nested functions), TypeError (e.g. locks).
             self.stats.serial_fallbacks += 1
             return False
         return True

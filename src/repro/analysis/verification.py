@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro.errors import ReproError
+
 __all__ = ["verify_reproduction"]
 
 
@@ -159,7 +161,12 @@ def verify_reproduction() -> List[Dict[str, str]]:
         except AssertionError as exc:
             rows.append({"target": label, "status": "FAIL",
                          "detail": str(exc)[:60]})
-        except Exception as exc:  # noqa: BLE001 - report, don't crash
+        except (ReproError, ImportError, ArithmeticError, LookupError,
+                TypeError, ValueError) as exc:
+            # The concrete failure families a broken check produces:
+            # library errors (ReproError), a renamed import, and the
+            # data-shape errors of mis-built result rows.  Anything else
+            # is a harness bug and should crash loudly.
             rows.append({"target": label, "status": "ERROR",
                          "detail": f"{type(exc).__name__}: {exc}"[:60]})
     return rows

@@ -19,9 +19,11 @@ from typing import Optional
 
 from repro.chain.network import BlockchainNetwork, Participant
 from repro.errors import ChainError
+from repro.sim.rng import seeded_rng
 
 __all__ = [
     "catch_up_probability",
+    "double_spend_success_probability",
     "MajorityAttack",
     "AttackOutcome",
     "selfish_mining_revenue",
@@ -191,14 +193,17 @@ def selfish_mining_revenue(
     honest mining (revenue > alpha) once alpha > 1/3; with gamma = 1 the
     threshold drops to 0 — the §5.1 "performance and security of
     blockchain systems" analysis, runnable.
+
+    Draws come from the named stream ``"attacks.selfish_mining"`` (see
+    :func:`repro.sim.rng.seeded_rng`), so runs sharing a root seed with
+    other components stay decorrelated; exact per-seed outputs are
+    pinned in ``tests/chain/test_selfish_mining.py``.
     """
     if not 0 < alpha < 1:
         raise ChainError(f"alpha must be in (0,1): {alpha}")
     if not 0 <= gamma <= 1:
         raise ChainError(f"gamma must be in [0,1]: {gamma}")
-    import random as _random
-
-    rng = _random.Random(seed)
+    rng = seeded_rng(seed, "attacks.selfish_mining")
     lead = 0          # private-chain lead over the public chain
     fork = False      # a 1-vs-1 public race is in progress
     attacker_revenue = 0

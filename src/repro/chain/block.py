@@ -10,7 +10,7 @@ from repro.crypto.hashing import hash_obj
 from repro.crypto.merkle import MerkleTree
 from repro.errors import InvalidBlockError
 
-__all__ = ["Block", "GENESIS_PARENT", "make_genesis"]
+__all__ = ["Block", "GENESIS_PARENT", "make_genesis", "make_block", "transactions_merkle_root"]
 
 GENESIS_PARENT = "0" * 64
 

@@ -18,7 +18,7 @@ from typing import Any, Dict, Optional
 from repro.chain.transaction import COINBASE_SENDER, Transaction, TxKind
 from repro.errors import InvalidTransactionError
 
-__all__ = ["LedgerState", "LedgerRules", "NameEntry", "ContractEntry"]
+__all__ = ["LedgerState", "LedgerRules", "NameEntry", "ContractEntry", "apply_transaction"]
 
 
 @dataclass(frozen=True)

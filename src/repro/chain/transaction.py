@@ -17,7 +17,7 @@ from repro.crypto.hashing import hash_obj
 from repro.crypto.keys import KeyPair, Signature, verify
 from repro.errors import InvalidTransactionError
 
-__all__ = ["Transaction", "make_transaction", "COINBASE_SENDER", "TxKind"]
+__all__ = ["Transaction", "make_transaction", "make_coinbase", "COINBASE_SENDER", "TxKind"]
 
 COINBASE_SENDER = "COINBASE"
 

@@ -13,7 +13,7 @@ from typing import Dict, List, Tuple
 
 from repro.errors import ReproError
 
-__all__ = ["Difficulty", "AgendaItem", "AGENDA", "items_by_difficulty"]
+__all__ = ["Difficulty", "AgendaItem", "AGENDA", "items_by_difficulty", "experiments_informing"]
 
 
 class Difficulty:

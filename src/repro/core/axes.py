@@ -20,7 +20,7 @@ from typing import Dict, List
 
 from repro.errors import ReproError
 
-__all__ = ["Distribution", "Control", "SystemProfile", "ERA_PROFILES", "classify"]
+__all__ = ["Distribution", "Control", "SystemProfile", "ERA_PROFILES", "classify", "trajectory"]
 
 
 class Distribution:

@@ -25,6 +25,7 @@ __all__ = [
     "SERVICES",
     "serveable_users",
     "demand_table",
+    "service",
 ]
 
 

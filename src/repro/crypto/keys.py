@@ -24,7 +24,7 @@ from typing import Any
 from repro.errors import CryptoError, InvalidSignatureError
 from repro.crypto.hashing import hash_obj, sha256_hex
 
-__all__ = ["KeyPair", "Signature", "verify", "generate_keypair"]
+__all__ = ["KeyPair", "Signature", "verify", "require_valid", "generate_keypair"]
 
 
 @dataclass(frozen=True)

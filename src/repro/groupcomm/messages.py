@@ -8,7 +8,7 @@ from typing import Any, Dict, Optional
 from repro.crypto.hashing import hash_obj
 from repro.errors import GroupCommError
 
-__all__ = ["Message", "Room"]
+__all__ = ["Audience", "Message", "Room"]
 
 
 class Audience:

@@ -1,0 +1,78 @@
+"""``python -m repro lint``: the linter's command-line front end.
+
+Exit codes: 0 clean, 1 findings, 2 usage error (unknown rule or path).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import LintError, all_rules, lint_paths, resolve_rules
+from repro.lint.reporters import render_human, render_json
+
+__all__ = ["add_lint_arguments", "default_lint_path", "run_lint"]
+
+
+def default_lint_path() -> str:
+    """The installed ``repro`` package directory, so ``python -m repro
+    lint`` with no arguments checks the library from any cwd."""
+    import repro
+
+    return str(Path(repro.__file__).parent)
+
+
+def add_lint_arguments(parser) -> None:
+    """Attach the lint options to an ``argparse`` (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id}  {rule.title}")
+        lines.append(f"        {rule.rationale}")
+    return "\n".join(lines)
+
+
+def run_lint(args) -> int:
+    """Execute the lint command from parsed arguments."""
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    selection: Optional[List[str]] = None
+    if args.rules is not None:
+        selection = [r for r in args.rules.split(",") if r.strip()]
+    paths: Sequence[str] = args.paths or [default_lint_path()]
+    try:
+        rules = resolve_rules(selection)
+        findings = lint_paths(paths, rules=rules)
+    except LintError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        rendered = render_human(findings)
+        if rendered:
+            print(rendered)
+        else:
+            checked = ", ".join(str(p) for p in paths)
+            print(f"lint: clean ({len(rules)} rule(s) over {checked})")
+    return 1 if findings else 0

@@ -1,0 +1,200 @@
+"""Rule registry, per-file lint context, and the linting driver.
+
+A rule is a subclass of :class:`Rule` registered with :func:`register`.
+The driver parses each file once, builds a :class:`LintContext`, runs
+every selected rule over it, and filters the findings through
+``# repro: noqa[...]`` suppression comments before returning them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ReproError
+from repro.lint.findings import Finding
+
+__all__ = [
+    "LintContext",
+    "LintError",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "resolve_rules",
+]
+
+
+class LintError(ReproError):
+    """The linter was invoked incorrectly (unknown rule, bad path)."""
+
+
+#: ``# repro: noqa`` or ``# repro: noqa[DET001]`` or ``...[DET001, PAR001]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+class LintContext:
+    """Everything a rule may inspect about one source file.
+
+    ``module_parts`` is the path split on separators, truncated to start
+    at the last ``repro`` component when one is present — so rules can
+    reason about *package* location (``("repro", "sim", "rng.py")``)
+    regardless of where the checkout lives.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        parts: Tuple[str, ...] = Path(path).parts
+        if "repro" in parts:
+            last = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+            parts = parts[last:]
+        self.module_parts = parts
+
+    def in_package(self, *names: str) -> bool:
+        """Whether any directory component of the module path is in ``names``."""
+        return any(part in names for part in self.module_parts[:-1])
+
+    def is_module(self, *tail: str) -> bool:
+        """Whether the module path ends with the given components."""
+        n = len(tail)
+        return n > 0 and self.module_parts[-n:] == tuple(tail)
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule_id=rule_id,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+    def suppressed_rules(self, line: int) -> Optional[Set[str]]:
+        """Rules suppressed on ``line`` (1-based).
+
+        Returns ``None`` when the line carries no noqa comment, the
+        empty set for a bare ``# repro: noqa`` (suppress everything),
+        and the named rule ids otherwise.
+        """
+        if not 1 <= line <= len(self.lines):
+            return None
+        match = _NOQA_RE.search(self.lines[line - 1])
+        if match is None:
+            return None
+        rules = match.group("rules")
+        if rules is None:
+            return set()
+        return {r.strip().upper() for r in rules.split(",") if r.strip()}
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id``/``title``/``rationale`` and implement
+    :meth:`check`, yielding :class:`Finding` objects.  ``title`` and
+    ``rationale`` feed ``--list-rules`` and the docs.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator: instantiate and register a rule by its id."""
+    rule = rule_cls()
+    if not rule.rule_id:
+        raise LintError(f"rule {rule_cls.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise LintError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def resolve_rules(selection: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Map a ``--rules`` selection to rule objects (all rules if None)."""
+    if selection is None:
+        return all_rules()
+    rules = []
+    for raw in selection:
+        rule_id = raw.strip().upper()
+        rule = _REGISTRY.get(rule_id)
+        if rule is None:
+            known = ", ".join(sorted(_REGISTRY))
+            raise LintError(f"unknown rule {raw!r}; known rules: {known}")
+        rules.append(rule)
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one in-memory source text; the unit every other entry wraps."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding("SYNTAX", path, exc.lineno or 1, exc.offset or 0,
+                        f"cannot parse: {exc.msg}")]
+    ctx = LintContext(path, source, tree)
+    chosen = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for rule in chosen:
+        for finding in rule.check(ctx):
+            suppressed = ctx.suppressed_rules(finding.line)
+            if suppressed is not None and (
+                not suppressed or finding.rule_id in suppressed
+            ):
+                continue
+            findings.append(finding)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def lint_file(path: str, rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one file on disk."""
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from exc
+    return lint_source(source, path=str(path), rules=rules)
+
+
+def _iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from (str(p) for p in sorted(path.rglob("*.py")))
+        elif path.is_file():
+            yield str(path)
+        else:
+            raise LintError(f"no such file or directory: {raw}")
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint files and directories (recursively); findings sorted."""
+    findings: List[Finding] = []
+    for file_path in _iter_python_files(paths):
+        findings.extend(lint_file(file_path, rules=rules))
+    return sorted(findings, key=Finding.sort_key)

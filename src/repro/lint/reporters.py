@@ -1,0 +1,47 @@
+"""Human and JSON rendering of lint findings.
+
+The JSON form is a stable machine interface (CI consumes it)::
+
+    {
+      "schema": 1,
+      "count": <int>,
+      "findings": [
+        {"rule": "DET001", "path": "...", "line": 3, "col": 0,
+         "message": "..."},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List, Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_human", "render_json"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_human(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a per-rule summary; '' when clean."""
+    if not findings:
+        return ""
+    lines: List[str] = [f.render() for f in findings]
+    by_rule = Counter(f.rule_id for f in findings)
+    summary = ", ".join(f"{rule}: {n}" for rule, n in sorted(by_rule.items()))
+    lines.append("")
+    lines.append(f"{len(findings)} finding(s)  ({summary})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    payload = {
+        "schema": JSON_SCHEMA_VERSION,
+        "count": len(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=1)

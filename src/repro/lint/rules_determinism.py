@@ -1,0 +1,183 @@
+"""Determinism rules: DET001 (random), DET002 (wall clock), DET003 (numpy).
+
+The contract these rules enforce is the one :mod:`repro.sim.rng`
+documents: every stochastic draw flows from a named, seed-derived
+stream, and simulated components never observe host time.  That is what
+makes serial, parallel, and cached sweep replays bit-identical.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.lint.engine import LintContext, Rule, register
+from repro.lint.findings import Finding
+
+__all__ = ["RandomOutsideRng", "WallClockInSim", "NumpyGlobalRandom"]
+
+#: Packages whose code runs inside the simulated world (DET002 scope).
+SIMULATED_PACKAGES = ("sim", "net", "chain", "storage", "groupcomm")
+
+#: ``time`` module attributes that read the host clock.
+WALL_CLOCK_ATTRS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+})
+
+#: ``datetime``/``date`` constructors that read the host clock.
+DATETIME_NOW_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: ``numpy.random`` members that are explicitly seeded (allowed).
+NUMPY_SEEDED_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "PCG64", "Philox",
+    "MT19937", "SFC64", "BitGenerator", "RandomState",
+})
+
+
+@register
+class RandomOutsideRng(Rule):
+    rule_id = "DET001"
+    title = "stdlib random imported outside repro/sim/rng.py"
+    rationale = (
+        "All randomness must route through RngStreams / seeded_rng /"
+        " derive_seed so draws are named, seed-derived, and replayable;"
+        " an ad-hoc random.Random sidesteps the stream discipline."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.is_module("sim", "rng.py"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield ctx.finding(
+                            self.rule_id, node,
+                            "import of stdlib 'random'; use"
+                            " repro.sim.rng (RngStreams / seeded_rng /"
+                            " derive_seed) instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        "import from stdlib 'random'; use repro.sim.rng"
+                        " (RngStreams / seeded_rng / derive_seed) instead",
+                    )
+
+
+def _attr_chain(node: ast.AST) -> Tuple[str, ...]:
+    """``a.b.c`` as ``("a", "b", "c")``; empty when not a pure name chain."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+@register
+class WallClockInSim(Rule):
+    rule_id = "DET002"
+    title = "wall-clock read inside a simulated package"
+    rationale = (
+        "Code under sim/, net/, chain/, storage/ and groupcomm/ runs in"
+        " simulated time (Simulator.now); reading the host clock makes"
+        " results depend on machine speed and scheduling."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_package(*SIMULATED_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in WALL_CLOCK_ATTRS:
+                            yield ctx.finding(
+                                self.rule_id, node,
+                                f"wall-clock import 'time.{alias.name}' in"
+                                " simulated code; use the simulator clock"
+                                " (sim.now)",
+                            )
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if len(chain) >= 2 and chain[-2] == "time" and (
+                    chain[-1] in WALL_CLOCK_ATTRS
+                ):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"wall-clock call '{'.'.join(chain)}' in simulated"
+                        " code; use the simulator clock (sim.now)",
+                    )
+                elif len(chain) >= 2 and chain[-1] in DATETIME_NOW_ATTRS and (
+                    chain[-2] in ("datetime", "date")
+                ):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"wall-clock call '{'.'.join(chain)}' in simulated"
+                        " code; use the simulator clock (sim.now)",
+                    )
+
+
+@register
+class NumpyGlobalRandom(Rule):
+    rule_id = "DET003"
+    title = "unseeded numpy.random global-state call"
+    rationale = (
+        "numpy's module-level random functions share hidden global state;"
+        " any draw perturbs every later draw anywhere in the process,"
+        " breaking stream independence. Use numpy.random.default_rng(seed)"
+        " with an explicit derive_seed(...) seed."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        numpy_aliases: Set[str] = set()
+        random_aliases: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            random_aliases.add(alias.asname)
+                        else:
+                            numpy_aliases.add("numpy")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            random_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in NUMPY_SEEDED_OK:
+                            yield ctx.finding(
+                                self.rule_id, node,
+                                f"import of global-state"
+                                f" numpy.random.{alias.name}; use"
+                                " numpy.random.default_rng(seed) instead",
+                            )
+        if not numpy_aliases and not random_aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            chain = _attr_chain(node) if isinstance(node, ast.Attribute) else ()
+            if len(chain) == 3 and chain[0] in numpy_aliases and (
+                chain[1] == "random"
+            ) and chain[2] not in NUMPY_SEEDED_OK:
+                yield ctx.finding(
+                    self.rule_id, node,
+                    f"global-state call '{'.'.join(chain)}'; use"
+                    " numpy.random.default_rng(seed) instead",
+                )
+            elif len(chain) == 2 and chain[0] in random_aliases and (
+                chain[1] not in NUMPY_SEEDED_OK
+            ):
+                yield ctx.finding(
+                    self.rule_id, node,
+                    f"global-state call '{'.'.join(chain)}'; use"
+                    " numpy.random.default_rng(seed) instead",
+                )

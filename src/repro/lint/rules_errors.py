@@ -1,0 +1,68 @@
+"""ERR001: broad exception handlers that swallow programming errors.
+
+The library's contract (:mod:`repro.errors`) is that every expected
+failure derives from :class:`~repro.errors.ReproError`, so callers can
+recover from simulated faults without masking real bugs.  A bare
+``except Exception`` that neither re-raises nor converts to a
+:mod:`repro.errors` type silently eats ``TypeError``/``KeyError``-class
+programming errors — in a determinism-sensitive simulator, the worst
+kind of failure is the one that turns into quietly wrong numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import LintContext, Rule, register
+from repro.lint.findings import Finding
+
+__all__ = ["BroadExceptSwallowed"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare except:
+        return True
+    if isinstance(handler.type, ast.Name) and handler.type.id in _BROAD:
+        return True
+    if isinstance(handler.type, ast.Tuple):
+        return any(
+            isinstance(el, ast.Name) and el.id in _BROAD
+            for el in handler.type.elts
+        )
+    return False
+
+
+def _raises(handler: ast.ExceptHandler) -> bool:
+    """Whether any path through the handler body raises."""
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@register
+class BroadExceptSwallowed(Rule):
+    rule_id = "ERR001"
+    title = "broad 'except Exception' that neither re-raises nor converts"
+    rationale = (
+        "Catching Exception without re-raising swallows programming"
+        " errors (TypeError, KeyError, ...) along with the simulated"
+        " fault you meant to recover from. Catch the concrete"
+        " repro.errors types the code actually recovers from, or raise a"
+        " repro.errors type after catching."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and _is_broad(node):
+                if not _raises(node):
+                    caught = (
+                        "bare except" if node.type is None
+                        else "except Exception"
+                    )
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"{caught} neither re-raises nor raises a"
+                        " repro.errors type; catch the concrete exceptions"
+                        " this code recovers from",
+                    )

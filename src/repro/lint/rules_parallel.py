@@ -1,0 +1,80 @@
+"""PAR001: unpicklable callables handed to process-pool entry points.
+
+:class:`repro.analysis.runner.SweepRunner` silently falls back to
+serial execution when the experiment function cannot be pickled (a
+lambda, a closure, a nested ``def``) — correct but slow, and exactly the
+bug class the per-point top-level experiment functions were introduced
+to avoid.  ``ProcessPoolExecutor.submit``/``map`` crash outright.  This
+rule catches both at review time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.engine import LintContext, Rule, register
+from repro.lint.findings import Finding
+
+__all__ = ["UnpicklableToPool"]
+
+#: Methods that ship their callable argument to worker processes.
+POOL_METHODS = frozenset({"run", "submit", "map"})
+
+
+def _unpicklable_names(tree: ast.Module) -> Set[str]:
+    """Names that cannot ship to a worker process: anything bound to a
+    lambda, plus any ``def`` nested inside another function (a closure).
+
+    Name-based, not scope-based — a rare shadowing false positive is an
+    acceptable price for a linter, and ``# repro: noqa[PAR001]`` exists.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(node):
+                if inner is not node and isinstance(
+                    inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    names.add(inner.name)
+    return names
+
+
+@register
+class UnpicklableToPool(Rule):
+    rule_id = "PAR001"
+    title = "lambda or nested function passed to a process-pool method"
+    rationale = (
+        "SweepRunner.run / ProcessPoolExecutor.submit|map pickle their"
+        " callable to ship it to workers; lambdas and nested functions"
+        " cannot be pickled, forcing a silent serial fallback (runner) or"
+        " a crash (executor). Pass a top-level function."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        bad_names = _unpicklable_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in POOL_METHODS
+            ):
+                continue
+            for arg in node.args:
+                if isinstance(arg, ast.Lambda):
+                    yield ctx.finding(
+                        self.rule_id, arg,
+                        f"lambda passed to .{node.func.attr}(); process"
+                        " pools need a top-level picklable callable",
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in bad_names:
+                    yield ctx.finding(
+                        self.rule_id, arg,
+                        f"{arg.id!r} is a lambda or nested function;"
+                        f" .{node.func.attr}() needs a top-level picklable"
+                        " callable",
+                    )

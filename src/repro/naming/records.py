@@ -14,7 +14,7 @@ from typing import Any, Dict, Optional
 from repro.crypto.hashing import hash_obj
 from repro.errors import NamingError
 
-__all__ = ["NameBinding", "ZoneFile"]
+__all__ = ["NameBinding", "ZoneFile", "validate_name"]
 
 MAX_NAME_LENGTH = 64
 _ALLOWED = set("abcdefghijklmnopqrstuvwxyz0123456789-_.")

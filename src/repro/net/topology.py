@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence
 import networkx as nx
 
 from repro.errors import NetworkError
+from repro.sim.rng import seeded_rng
 
 __all__ = [
     "star",
@@ -110,14 +111,14 @@ def federation_homes(
 
     Round-robin keeps instances balanced; the shuffle decorrelates user
     index from server index so failure experiments aren't accidentally
-    structured.
+    structured.  The shuffle draws from the named stream
+    ``"topology.federation_homes"`` (see :func:`repro.sim.rng.seeded_rng`)
+    so it is independent of every other consumer of the same root seed.
     """
     if not server_ids:
         raise NetworkError("need at least one server")
-    import random as _random
-
     shuffled = list(user_ids)
-    _random.Random(seed).shuffle(shuffled)
+    seeded_rng(seed, "topology.federation_homes").shuffle(shuffled)
     return {
         user_id: server_ids[i % len(server_ids)]
         for i, user_id in enumerate(shuffled)

@@ -20,7 +20,7 @@ from repro.sim.engine import (
     Timeout,
 )
 from repro.sim.monitor import Counter, Monitor, Sampler, TimeWeightedGauge, summarize
-from repro.sim.rng import RngStreams, derive_seed
+from repro.sim.rng import RngStreams, derive_seed, seeded_rng
 
 __all__ = [
     "Simulator",
@@ -32,6 +32,7 @@ __all__ = [
     "Interrupt",
     "RngStreams",
     "derive_seed",
+    "seeded_rng",
     "Counter",
     "Sampler",
     "Monitor",

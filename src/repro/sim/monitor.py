@@ -52,7 +52,10 @@ def summarize(values: List[float]) -> _Summary:
         raise ValueError("cannot summarize an empty sample")
     ordered = sorted(values)
     n = len(ordered)
-    mean = sum(ordered) / n
+    # Float summation can drift the mean a few ULPs outside [min, max]
+    # (e.g. three identical large values); clamp so the mathematical
+    # invariant min <= mean <= max holds for downstream consumers.
+    mean = min(max(sum(ordered) / n, ordered[0]), ordered[-1])
     var = sum((v - mean) ** 2 for v in ordered) / n
     return _Summary(
         count=n,

@@ -20,7 +20,7 @@ import hashlib
 import random
 from typing import Dict, Iterable, List, Sequence, TypeVar
 
-__all__ = ["RngStreams", "derive_seed"]
+__all__ = ["RngStreams", "derive_seed", "seeded_rng"]
 
 T = TypeVar("T")
 
@@ -33,6 +33,17 @@ def derive_seed(root_seed: int, name: str) -> int:
     """
     digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+def seeded_rng(root_seed: int, name: str) -> random.Random:
+    """A standalone ``random.Random`` on the named stream.
+
+    For free functions that take a ``seed`` argument but no
+    :class:`RngStreams` (e.g. topology builders): the name keeps their
+    draws decorrelated from every other consumer of the same root seed,
+    exactly like :meth:`RngStreams.stream`.
+    """
+    return random.Random(derive_seed(root_seed, name))
 
 
 class RngStreams:

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import StorageError
 
-__all__ = ["Shard", "ErasureCode"]
+__all__ = ["Shard", "ErasureCode", "gf_mul", "gf_inv"]
 
 # -- GF(256) arithmetic --------------------------------------------------------
 # Polynomial 0x11d (x^8+x^4+x^3+x^2+1), the standard Reed-Solomon choice:

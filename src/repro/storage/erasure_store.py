@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Set
 
-from repro.errors import StorageError
+from repro.errors import NetworkError, StorageError
 from repro.net.transport import Network
 from repro.sim.monitor import Monitor
 from repro.sim.rng import RngStreams
@@ -137,8 +137,8 @@ class ErasureBlobStore:
                 continue
             try:
                 shard = yield from self._pull_shard(provider_id, content_id, index)
-            except Exception:
-                continue
+            except (NetworkError, StorageError):
+                continue  # provider churned or shard failed verification
             gathered.append(shard)
         if len(gathered) < self.code.k:
             self.monitor.counters.increment("retrievals_failed")
@@ -204,8 +204,8 @@ class ErasureBlobStore:
                 yield from self._push_shard(
                     self.client_id, target.node_id, content_id, shards[index]
                 )
-            except Exception:
-                continue
+            except (NetworkError, StorageError):
+                continue  # target churned mid-repair: try the next one
             health.placement[index] = target.node_id
             health.repairs += 1
             self.monitor.counters.increment("repairs")

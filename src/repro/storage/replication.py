@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Set
 
-from repro.errors import StorageError
+from repro.errors import NetworkError, StorageError
 from repro.net.transport import Network
 from repro.sim.monitor import Monitor
 from repro.sim.rng import RngStreams
@@ -162,7 +162,7 @@ class ReplicatedBlobStore:
         ):
             try:
                 yield from self._upload(source_id, provider.node_id, blob)
-            except Exception:
+            except (NetworkError, StorageError):
                 continue  # source or target churned mid-transfer
             health.holders.add(provider.node_id)
             health.repairs += 1
@@ -199,8 +199,8 @@ class ReplicatedBlobStore:
                     chunks.append(chunk)
                 self.monitor.counters.increment("retrievals_ok")
                 return b"".join(chunks)
-            except Exception:
-                continue
+            except (NetworkError, StorageError):
+                continue  # holder churned or served a bad proof: try next
         self.monitor.counters.increment("retrievals_failed")
         raise StorageError(f"no online holder could serve blob {root[:12]}")
 

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import StorageError
 from repro.storage.marketplace import ProofKind
 
-__all__ = ["BlockchainUsage", "StorageSystemProfile", "TABLE2_SYSTEMS", "table2_rows"]
+__all__ = ["BlockchainUsage", "StorageSystemProfile", "TABLE2_SYSTEMS", "table2_rows", "profile_for"]
 
 
 class BlockchainUsage:

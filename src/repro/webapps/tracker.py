@@ -16,7 +16,7 @@ from repro.errors import LookupFailedError, RemoteError, RpcTimeoutError, WebApp
 from repro.net.node import NodeClass
 from repro.net.transport import Network
 
-__all__ = ["Tracker", "DhtPeerDirectory"]
+__all__ = ["Tracker", "ReplicatedTracker", "DhtPeerDirectory"]
 
 
 class Tracker:

@@ -1,0 +1,11 @@
+"""API001 positive fixture: phantom export + unexported public def."""
+
+__all__ = ["exists", "phantom"]
+
+
+def exists() -> int:
+    return 1
+
+
+def unexported() -> int:
+    return 2

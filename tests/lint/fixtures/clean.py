@@ -1,0 +1,14 @@
+"""Negative fixture: violates no rule."""
+
+__all__ = ["double", "halve"]
+
+
+def double(x: int) -> int:
+    return 2 * x
+
+
+def halve(x: int) -> float:
+    try:
+        return x / 2
+    except TypeError:
+        raise

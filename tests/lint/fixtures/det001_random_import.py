@@ -1,0 +1,7 @@
+"""DET001 positive fixture: ad-hoc stdlib randomness."""
+
+import random
+
+
+def biased_coin() -> bool:
+    return random.Random(0).random() < 0.5

@@ -1,0 +1,9 @@
+"""DET003 positive fixture: numpy global-state randomness (never
+imported by tests; numpy need not resolve)."""
+
+import numpy as np
+
+
+def noisy(n: int):
+    np.random.seed(0)
+    return np.random.rand(n)

@@ -1,0 +1,11 @@
+"""PAR001 positive fixture: unpicklable callables shipped to a pool."""
+
+
+def sweep_everything(runner, executor, configs):
+    results = runner.run("exp", lambda seed: seed * 2, configs)
+
+    def per_point(seed):
+        return seed + 1
+
+    futures = executor.submit(per_point, 3)
+    return results, futures

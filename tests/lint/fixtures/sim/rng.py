@@ -1,0 +1,8 @@
+"""DET001 negative fixture: this path ends in sim/rng.py, the one module
+allowed to import stdlib random."""
+
+import random
+
+
+def make(seed: int) -> random.Random:
+    return random.Random(seed)

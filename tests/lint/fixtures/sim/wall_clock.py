@@ -1,0 +1,10 @@
+"""DET002 positive fixture: wall-clock reads in a simulated package."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    started = time.monotonic()
+    _ = datetime.now()
+    return time.time() - started

@@ -1,0 +1,10 @@
+"""Suppression fixture: every violation carries a justified noqa."""
+
+import random  # repro: noqa[DET001] - fixture exercising suppression
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:  # repro: noqa - fixture: bare noqa suppresses all
+        return random.random()

@@ -1,0 +1,50 @@
+"""CLI behavior of ``python -m repro lint``: exit codes and formats."""
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestLintCommand:
+    def test_clean_path_exits_zero(self, capsys):
+        assert main(["lint", str(FIXTURES / "clean.py")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one_with_rule_ids(self, capsys):
+        code = main(["lint", str(FIXTURES / "det001_random_import.py")])
+        assert code == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_json_format_emits_schema(self, capsys):
+        code = main(["lint", "--format", "json",
+                     str(FIXTURES / "err001_broad_except.py")])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert [f["rule"] for f in payload["findings"]] == ["ERR001"]
+
+    def test_rules_filter(self, capsys):
+        code = main(["lint", "--rules", "ERR001",
+                     str(FIXTURES / "det001_random_import.py")])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_unknown_rule_exits_two(self, capsys):
+        code = main(["lint", "--rules", "NOPE999", str(FIXTURES)])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        code = main(["lint", str(FIXTURES / "no_such_file.py")])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_list_rules_catalog(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "DET003",
+                        "PAR001", "ERR001", "API001"):
+            assert rule_id in out

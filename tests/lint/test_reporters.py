@@ -1,0 +1,52 @@
+"""Reporter output: the JSON schema contract and the human format."""
+
+import json
+
+from repro.lint import lint_source, render_human, render_json
+from repro.lint.findings import Finding
+from repro.lint.reporters import JSON_SCHEMA_VERSION
+
+
+def sample_findings():
+    return lint_source("import random\n__all__ = ['phantom']\n",
+                       path="pkg/mod.py")
+
+
+class TestJsonReporter:
+    def test_schema_shape(self):
+        payload = json.loads(render_json(sample_findings()))
+        assert payload["schema"] == JSON_SCHEMA_VERSION
+        assert payload["count"] == len(payload["findings"]) == 2
+        for entry in payload["findings"]:
+            assert set(entry) == {"rule", "path", "line", "col", "message"}
+            assert isinstance(entry["rule"], str)
+            assert isinstance(entry["path"], str)
+            assert isinstance(entry["line"], int)
+            assert isinstance(entry["col"], int)
+            assert isinstance(entry["message"], str)
+
+    def test_empty_findings_still_valid_json(self):
+        payload = json.loads(render_json([]))
+        assert payload == {
+            "schema": JSON_SCHEMA_VERSION, "count": 0, "findings": [],
+        }
+
+    def test_round_trips_finding_fields(self):
+        finding = Finding("DET001", "a.py", 3, 7, "msg")
+        entry = json.loads(render_json([finding]))["findings"][0]
+        assert entry == {"rule": "DET001", "path": "a.py", "line": 3,
+                         "col": 7, "message": "msg"}
+
+
+class TestHumanReporter:
+    def test_one_line_per_finding_plus_summary(self):
+        findings = sample_findings()
+        text = render_human(findings)
+        lines = text.splitlines()
+        assert lines[0].startswith("pkg/mod.py:1:0: DET001 ")
+        assert lines[1].startswith("pkg/mod.py:2:0: API001 ")
+        assert "2 finding(s)" in lines[-1]
+        assert "API001: 1" in lines[-1] and "DET001: 1" in lines[-1]
+
+    def test_clean_renders_empty(self):
+        assert render_human([]) == ""

@@ -1,0 +1,250 @@
+"""Positive and negative coverage for every lint rule."""
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def rule_ids(source, path="pkg/repro/module.py"):
+    return [f.rule_id for f in lint_source(textwrap.dedent(source), path=path)]
+
+
+class TestDET001:
+    def test_plain_import_flagged(self):
+        assert "DET001" in rule_ids("import random\n")
+
+    def test_aliased_and_from_imports_flagged(self):
+        assert "DET001" in rule_ids("import random as rnd\n")
+        assert "DET001" in rule_ids("from random import Random\n")
+
+    def test_function_level_import_flagged(self):
+        src = """
+        def f(seed):
+            import random as _random
+            return _random.Random(seed)
+        """
+        assert "DET001" in rule_ids(src)
+
+    def test_rng_module_exempt(self):
+        assert rule_ids("import random\n", path="src/repro/sim/rng.py") == []
+
+    def test_seeded_rng_usage_clean(self):
+        src = """
+        from repro.sim.rng import seeded_rng
+
+        def f(seed):
+            return seeded_rng(seed, "f").random()
+        """
+        assert rule_ids(src) == []
+
+
+class TestDET002:
+    def test_wall_clock_call_in_sim_package(self):
+        src = """
+        import time
+
+        def f():
+            return time.time()
+        """
+        assert rule_ids(src, path="repro/sim/engine.py") == ["DET002"]
+
+    def test_datetime_now_in_chain_package(self):
+        src = """
+        from datetime import datetime
+
+        def f():
+            return datetime.now()
+        """
+        assert rule_ids(src, path="repro/chain/mempool.py") == ["DET002"]
+
+    def test_from_time_import_flagged(self):
+        src = "from time import monotonic\n"
+        assert rule_ids(src, path="repro/net/transport.py") == ["DET002"]
+
+    def test_wall_clock_allowed_outside_simulated_packages(self):
+        src = """
+        import time
+
+        def f():
+            return time.perf_counter()
+        """
+        assert rule_ids(src, path="repro/analysis/runner.py") == []
+
+    def test_simulated_time_attribute_clean(self):
+        src = """
+        def f(sim):
+            return sim.now
+        """
+        assert rule_ids(src, path="repro/sim/engine.py") == []
+
+
+class TestDET003:
+    def test_np_random_call_flagged(self):
+        src = """
+        import numpy as np
+
+        def f(n):
+            return np.random.rand(n)
+        """
+        assert "DET003" in rule_ids(src)
+
+    def test_numpy_random_seed_flagged(self):
+        src = """
+        import numpy
+
+        def f():
+            numpy.random.seed(0)
+        """
+        assert "DET003" in rule_ids(src)
+
+    def test_from_numpy_random_import_flagged(self):
+        assert "DET003" in rule_ids("from numpy.random import rand\n")
+
+    def test_default_rng_allowed(self):
+        src = """
+        import numpy as np
+
+        def f(seed):
+            return np.random.default_rng(seed).random()
+        """
+        assert rule_ids(src) == []
+
+    def test_no_numpy_no_findings(self):
+        assert rule_ids("import math\n") == []
+
+
+class TestPAR001:
+    def test_lambda_to_runner_run(self):
+        src = """
+        def f(runner, configs):
+            return runner.run("exp", lambda seed: seed, configs)
+        """
+        assert rule_ids(src) == ["PAR001"]
+
+    def test_nested_function_to_submit(self):
+        src = """
+        def f(executor):
+            def point(seed):
+                return seed
+            return executor.submit(point, 1)
+        """
+        assert rule_ids(src) == ["PAR001"]
+
+    def test_lambda_valued_name_to_map(self):
+        src = """
+        transform = lambda x: x + 1
+
+        def f(pool, items):
+            return pool.map(transform, items)
+        """
+        assert rule_ids(src) == ["PAR001"]
+
+    def test_top_level_function_clean(self):
+        src = """
+        def point(seed):
+            return seed
+
+        def f(runner, configs):
+            return runner.run("exp", point, configs)
+        """
+        assert rule_ids(src) == []
+
+    def test_sorted_key_lambda_not_flagged(self):
+        src = """
+        def f(items):
+            return sorted(items, key=lambda x: x.name)
+        """
+        assert rule_ids(src) == []
+
+
+class TestERR001:
+    def test_swallowed_broad_except(self):
+        src = """
+        def f(fn):
+            try:
+                return fn()
+            except Exception:
+                return None
+        """
+        assert rule_ids(src) == ["ERR001"]
+
+    def test_bare_except_flagged(self):
+        src = """
+        def f(fn):
+            try:
+                return fn()
+            except:
+                return None
+        """
+        assert rule_ids(src) == ["ERR001"]
+
+    def test_reraise_allowed(self):
+        src = """
+        def f(fn):
+            try:
+                return fn()
+            except Exception as exc:
+                raise RuntimeError("wrapped") from exc
+        """
+        assert rule_ids(src) == []
+
+    def test_narrow_handler_allowed(self):
+        src = """
+        def f(fn):
+            try:
+                return fn()
+            except (ValueError, KeyError):
+                return None
+        """
+        assert rule_ids(src) == []
+
+
+class TestAPI001:
+    def test_phantom_export_flagged(self):
+        src = """
+        __all__ = ["missing"]
+        """
+        assert rule_ids(src) == ["API001"]
+
+    def test_unexported_public_def_flagged(self):
+        src = """
+        __all__ = ["f"]
+
+        def f():
+            return 1
+
+        def g():
+            return 2
+        """
+        assert rule_ids(src) == ["API001"]
+
+    def test_private_defs_need_no_export(self):
+        src = """
+        __all__ = ["f"]
+
+        def f():
+            return 1
+
+        def _helper():
+            return 2
+        """
+        assert rule_ids(src) == []
+
+    def test_module_without_all_exempt(self):
+        src = """
+        def anything():
+            return 1
+        """
+        assert rule_ids(src) == []
+
+    def test_conditional_definition_counts(self):
+        src = """
+        __all__ = ["f"]
+
+        try:
+            from fastlib import f
+        except ImportError:
+            def f():
+                return 1
+        """
+        assert rule_ids(src) == []

@@ -1,0 +1,19 @@
+"""Meta-test: the library must satisfy its own lint rules.
+
+This is the enforcement point for the determinism contract — if a PR
+introduces ad-hoc randomness, a wall-clock read in simulated code, a
+swallowed broad except, or an ``__all__`` drift, this test names the
+file, line, and rule.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.lint import lint_paths
+
+
+def test_repro_package_is_lint_clean():
+    package_dir = Path(repro.__file__).parent
+    findings = lint_paths([str(package_dir)])
+    details = "\n".join(f.render() for f in findings)
+    assert not findings, f"repro must lint clean; found:\n{details}"

@@ -177,3 +177,34 @@ class TestFederationHomes:
         assert federation_homes(users, servers, seed=1) != federation_homes(
             users, servers, seed=2
         )
+
+
+class TestFederationHomesGoldens:
+    """Pin the exact assignment under seeded_rng seed derivation.
+
+    federation_homes now shuffles on the named stream
+    "topology.federation_homes" (derive_seed) instead of seeding
+    random.Random with the raw seed; this golden freezes the new
+    mapping so experiment outputs cannot silently shift again.
+    """
+
+    def test_pinned_assignment(self):
+        users = [f"u{i}" for i in range(8)]
+        servers = ["s0", "s1", "s2"]
+        assert federation_homes(users, servers, seed=1) == {
+            "u0": "s0", "u1": "s1", "u5": "s2", "u6": "s0",
+            "u3": "s1", "u4": "s2", "u2": "s0", "u7": "s1",
+        }
+
+    def test_matches_named_stream_shuffle(self):
+        from repro.sim.rng import seeded_rng
+
+        users = [f"u{i}" for i in range(12)]
+        servers = ["s0", "s1"]
+        expected_order = list(users)
+        seeded_rng(7, "topology.federation_homes").shuffle(expected_order)
+        expected = {
+            user: servers[i % len(servers)]
+            for i, user in enumerate(expected_order)
+        }
+        assert federation_homes(users, servers, seed=7) == expected
