@@ -9,6 +9,8 @@ Usage::
     python -m repro agenda            # the §5 research agenda
     python -m repro experiment E4     # any DESIGN.md experiment driver
     python -m repro sweep E8 --workers 4   # grid drivers, parallel + cached
+    python -m repro sweep E8 --metrics     # plus an obs metrics summary
+    python -m repro trace E4 --out trace.jsonl  # run under full tracing
     python -m repro lint              # determinism/invariant linter
     python -m repro list              # what can be run
 
@@ -148,18 +150,35 @@ def _sweep(args) -> int:
         print(f"--chunksize must be >= 1, got {args.chunksize}",
               file=sys.stderr)
         return 2
+    metrics = None
+    if args.metrics:
+        from repro.obs import Metrics
+
+        metrics = Metrics()
     cache = None if args.no_cache else SweepCache(args.cache_dir)
     runner = SweepRunner(workers=args.workers, cache=cache,
-                         chunksize=args.chunksize)
+                         chunksize=args.chunksize, metrics=metrics)
     rows = driver(runner, args.seed)
     print(render_table(list(rows)))
     print()
     print(render_table(runner.stats.summary_rows()))
+    if metrics is not None:
+        from repro.obs import render_report_human
+
+        print()
+        print(render_report_human(metrics))
     if cache is not None:
         print(f"\ncache: {cache.cache_dir}"
               + (f" ({cache.corrupt_files} corrupt file(s) ignored)"
                  if cache.corrupt_files else ""))
     return 0
+
+
+def _trace(args) -> int:
+    from repro.obs.cli import run_trace
+
+    _register_experiments()
+    return run_trace(args, _EXPERIMENTS)
 
 
 def _experiment(name: str) -> int:
@@ -201,6 +220,15 @@ def main(argv: List[str] = None) -> int:
                            help="base seed passed to the driver")
     sweep_cmd.add_argument("--chunksize", type=int, default=1,
                            help="grid points per worker dispatch")
+    sweep_cmd.add_argument("--metrics", action="store_true",
+                           help="record and print an obs metrics summary")
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="run an experiment under tracing; write a JSONL trace",
+    )
+    from repro.obs.cli import add_trace_arguments
+
+    add_trace_arguments(trace_cmd)
     lint_cmd = sub.add_parser(
         "lint",
         help="run the determinism & simulation-invariant linter",
@@ -224,6 +252,8 @@ def main(argv: List[str] = None) -> int:
         return _experiment(args.name)
     elif args.command == "sweep":
         return _sweep(args)
+    elif args.command == "trace":
+        return _trace(args)
     elif args.command == "lint":
         from repro.lint.cli import run_lint
 
@@ -242,6 +272,8 @@ def main(argv: List[str] = None) -> int:
         print("tables: table1 table2 table3")
         print("other:  zooko agenda verify lint")
         print(f"experiments: {' '.join(sorted(_EXPERIMENTS))}")
+        print("traceable (python -m repro trace <id> --out t.jsonl):"
+              f" {' '.join(sorted(_EXPERIMENTS))}")
         print(f"sweepable (python -m repro sweep <id> --workers N):"
               f" {' '.join(sorted(_SWEEPABLE))}")
     else:

@@ -50,6 +50,9 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.hashing import hash_obj, sha256_hex
+from repro.obs.metrics import Metrics
+from repro.obs.runtime import active as _active_observation
+from repro.obs.tracer import Tracer
 from repro.sim.rng import derive_seed
 
 __all__ = [
@@ -311,6 +314,14 @@ class SweepRunner:
     chunksize:
         Tasks handed to each worker per dispatch (``ProcessPoolExecutor
         .map`` chunking); raise it for very cheap grid points.
+    tracer / metrics:
+        Optional :mod:`repro.obs` hooks.  When omitted, adopts whatever
+        an enclosing :func:`repro.obs.observe` block made ambient.  Each
+        grid point then lands as a ``sweep_task`` trace event and feeds
+        ``sweep.*`` counters, the task wall-time histogram, and the
+        worker-utilization gauge.  (Worker *processes* do not inherit
+        the observation — tasks run untraced; the runner records them
+        from the parent.)
     """
 
     def __init__(
@@ -320,9 +331,18 @@ class SweepRunner:
         base_seed: Optional[int] = None,
         seed_param: str = "seed",
         chunksize: int = 1,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
     ):
         if chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        if tracer is None and metrics is None:
+            observation = _active_observation()
+            if observation is not None:
+                tracer = observation.tracer
+                metrics = observation.metrics
+        self._tracer = tracer
+        self._metrics = metrics
         self.workers = max(1, int(workers))
         self.cache = cache
         self.base_seed = base_seed
@@ -363,7 +383,7 @@ class SweepRunner:
                 found, value = self.cache.lookup(experiment, key)
                 if found:
                     results[index] = value
-                    self.stats.record(
+                    self._record_task(
                         TaskRecord(experiment, key, 0.0, cached=True)
                     )
                     continue
@@ -376,7 +396,7 @@ class SweepRunner:
                 pending, executed
             ):
                 results[index] = result
-                self.stats.record(
+                self._record_task(
                     TaskRecord(experiment, key, elapsed, cached=False)
                 )
                 if self.cache is not None:
@@ -392,9 +412,33 @@ class SweepRunner:
                 self.cache.store_many(experiment, fresh)
 
         self.stats.wall_s += time.perf_counter() - start
+        if self._metrics is not None:
+            self._metrics.set_gauge("sweep.wall_s",
+                                    round(self.stats.wall_s, 6))
+            self._metrics.set_gauge("sweep.worker_utilization",
+                                    round(self.stats.utilization(), 6))
+            self._metrics.set_gauge("sweep.workers", float(self.workers))
         return results
 
     # -- internals -------------------------------------------------------
+
+    def _record_task(self, record: TaskRecord) -> None:
+        """Record one grid point into stats and the obs registry."""
+        self.stats.record(record)
+        if self._metrics is not None:
+            if record.cached:
+                self._metrics.inc("sweep.cache_hits")
+            else:
+                self._metrics.inc("sweep.cache_misses")
+                self._metrics.observe("sweep.task_wall_s", record.elapsed_s)
+        if self._tracer is not None:
+            # Note: elapsed_s is host wall time — sweep_task events are
+            # the one trace kind that is not byte-stable across runs.
+            self._tracer.emit(
+                "sweep_task", experiment=record.experiment,
+                config_hash=record.config_hash, cached=record.cached,
+                elapsed_s=round(record.elapsed_s, 6),
+            )
 
     def _execute(
         self,

@@ -12,7 +12,15 @@ Two primitives:
 * :meth:`Network.rpc` — request/response as a yieldable generator for use
   inside simulation processes.  Handlers may return either a plain value or
   a generator (which is spawned as a process, letting servers model work
-  that itself takes simulated time or performs nested RPCs).
+  that itself takes simulated time or performs nested RPCs).  Pass
+  ``retries=N`` to re-issue a timed-out request up to N more times.
+
+Observability: the network shares its :class:`Simulator`'s tracer and
+metrics (see :mod:`repro.obs`).  When active, every message leg emits a
+``msg_send`` / ``msg_deliver`` / ``msg_drop`` trace event and every RPC
+attempt emits an ``rpc`` span (start, end, outcome, attempt) plus
+``net.*`` counters and a latency histogram; when inactive each hook is a
+single ``is not None`` check.
 """
 
 from __future__ import annotations
@@ -74,6 +82,10 @@ class Network:
         self.latency = latency if latency is not None else ConstantLatency()
         self.loss_rate = loss_rate
         self.monitor = Monitor()
+        # Share the simulator's observation hooks (both None unless an
+        # observe() block or explicit Simulator args enabled them).
+        self._tracer = sim.tracer
+        self._metrics = sim.metrics
         self._nodes: Dict[str, Node] = {}
         self._loss_rng = streams.stream("net.loss")
         self._partition: Optional[Dict[str, int]] = None
@@ -134,19 +146,27 @@ class Network:
         src, dst = self.node(src_id), self.node(dst_id)
         self.monitor.counters.increment("messages_sent")
         self.monitor.counters.increment(f"bytes_sent.{src_id}", size_bytes)
+        self._msg_event("msg_send", src_id, dst_id, method, size_bytes)
         if self._dropped():
             self.monitor.counters.increment("messages_lost")
+            self._msg_event("msg_drop", src_id, dst_id, method, size_bytes,
+                            reason="loss")
             return
         delay = self.latency.delay(src, dst, size_bytes)
 
         def deliver() -> None:
             if not dst.online:
                 self.monitor.counters.increment("messages_to_offline")
+                self._msg_event("msg_drop", src_id, dst_id, method,
+                                size_bytes, reason="offline")
                 return
             if not self.can_reach(src_id, dst_id):
                 self.monitor.counters.increment("messages_partitioned")
+                self._msg_event("msg_drop", src_id, dst_id, method,
+                                size_bytes, reason="partition")
                 return
             self.monitor.counters.increment("messages_delivered")
+            self._msg_event("msg_deliver", src_id, dst_id, method, size_bytes)
             try:
                 result = dst.dispatch(method, payload, src_id)
             except ReproError:
@@ -188,23 +208,62 @@ class Network:
         size_bytes: int = DEFAULT_MESSAGE_BYTES,
         response_bytes: int = DEFAULT_MESSAGE_BYTES,
         timeout: float = 30.0,
+        retries: int = 0,
     ) -> Generator:
         """Request/response; ``yield from`` this inside a process.
 
-        Returns the handler's return value.  Raises:
+        Returns the handler's return value.  A timed-out attempt is
+        re-issued up to ``retries`` more times (each attempt is a fresh
+        request with its own timeout window).  Raises:
 
-        * :class:`RpcTimeoutError` — request or response lost, or peer
-          offline at arrival time.
+        * :class:`RpcTimeoutError` — every attempt's request or response
+          was lost, or the peer was offline at arrival time.
         * :class:`RemoteError` — the remote handler raised a
           :class:`~repro.errors.ReproError`; the original is attached as
-          ``remote_exception``.
+          ``remote_exception``.  Remote errors are not retried.
         """
+        if retries < 0:
+            raise NetworkError(f"retries must be >= 0, got {retries}")
+        attempts = int(retries) + 1
+        for attempt in range(attempts):
+            try:
+                value = yield from self._rpc_attempt(
+                    src_id, dst_id, method, payload, size_bytes,
+                    response_bytes, timeout, attempt,
+                )
+            except RpcTimeoutError:
+                if attempt + 1 < attempts:
+                    self.monitor.counters.increment("rpcs_retried")
+                    if self._metrics is not None:
+                        self._metrics.inc("net.rpc_retries")
+                    continue
+                raise
+            return value
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _rpc_attempt(
+        self,
+        src_id: str,
+        dst_id: str,
+        method: str,
+        payload: Any,
+        size_bytes: int,
+        response_bytes: int,
+        timeout: float,
+        attempt: int,
+    ) -> Generator:
+        """One request/response attempt (the pre-retry ``rpc`` body)."""
         src, dst = self.node(src_id), self.node(dst_id)
         self.monitor.counters.increment("rpcs_sent")
         self.monitor.counters.increment(f"bytes_sent.{src_id}", size_bytes)
+        if self._metrics is not None:
+            self._metrics.inc("net.rpcs_sent")
+        start = self.sim.now
         done: Signal = self.sim.signal(f"rpc:{src_id}->{dst_id}:{method}")
 
         if not self._dropped():
+            self._msg_event("msg_send", src_id, dst_id, method, size_bytes,
+                            leg="rpc_request")
             request_delay = self.latency.delay(src, dst, size_bytes)
             self.sim.schedule(
                 request_delay,
@@ -218,17 +277,48 @@ class Network:
             )
         else:
             self.monitor.counters.increment("messages_lost")
+            self._msg_event("msg_drop", src_id, dst_id, method, size_bytes,
+                            reason="loss", leg="rpc_request")
 
+        # The AnyOf winner cancels the loser: on response, the timeout's
+        # heap entry is invalidated (the queue does not stay hot for
+        # ``timeout`` seconds); on timeout, the ``done`` waiter is pruned
+        # so a late response fires into an empty signal.
         index, value = yield AnyOf([done, Timeout(timeout)])
         if index == 1:
             self.monitor.counters.increment("rpcs_timed_out")
+            self._rpc_span(start, src_id, dst_id, method, "timeout", attempt)
             raise RpcTimeoutError(
                 f"rpc {method!r} from {src_id!r} to {dst_id!r} timed out"
             )
         if isinstance(value, _RpcFault):
+            self._rpc_span(start, src_id, dst_id, method, "remote_error",
+                           attempt)
             raise RemoteError(value.error)
         self.monitor.counters.increment("rpcs_completed")
+        self._rpc_span(start, src_id, dst_id, method, "ok", attempt)
         return value
+
+    def _rpc_span(
+        self,
+        start: float,
+        src_id: str,
+        dst_id: str,
+        method: str,
+        outcome: str,
+        attempt: int,
+    ) -> None:
+        """Record one finished RPC attempt into the tracer and metrics."""
+        if self._tracer is not None:
+            self._tracer.emit(
+                "rpc", t=start, end=self.sim.now, src=src_id, dst=dst_id,
+                method=method, outcome=outcome, attempt=attempt,
+            )
+        if self._metrics is not None:
+            self._metrics.inc(f"net.rpcs_{outcome}")
+            if outcome == "ok":
+                self._metrics.observe("net.rpc_latency_s",
+                                      self.sim.now - start)
 
     def _rpc_arrive(
         self,
@@ -271,16 +361,28 @@ class Network:
         self.monitor.counters.increment(f"bytes_sent.{dst.node_id}", response_bytes)
         if self._dropped():
             self.monitor.counters.increment("messages_lost")
+            self._msg_event("msg_drop", dst.node_id, src.node_id, "response",
+                            response_bytes, reason="loss", leg="rpc_response")
             return
+        self._msg_event("msg_send", dst.node_id, src.node_id, "response",
+                        response_bytes, leg="rpc_response")
         delay = self.latency.delay(dst, src, response_bytes)
 
         def deliver() -> None:
             if not src.online:
                 self.monitor.counters.increment("messages_to_offline")
+                self._msg_event("msg_drop", dst.node_id, src.node_id,
+                                "response", response_bytes, reason="offline",
+                                leg="rpc_response")
                 return
             if not self.can_reach(dst.node_id, src.node_id):
                 self.monitor.counters.increment("messages_partitioned")
+                self._msg_event("msg_drop", dst.node_id, src.node_id,
+                                "response", response_bytes,
+                                reason="partition", leg="rpc_response")
                 return
+            self._msg_event("msg_deliver", dst.node_id, src.node_id,
+                            "response", response_bytes, leg="rpc_response")
             if not done.fired:
                 done.fire(value)
 
@@ -326,6 +428,37 @@ class Network:
         )
 
     # -- internals ------------------------------------------------------------
+
+    def _msg_event(
+        self,
+        kind: str,
+        src_id: str,
+        dst_id: str,
+        method: str,
+        size_bytes: int,
+        reason: Optional[str] = None,
+        leg: Optional[str] = None,
+    ) -> None:
+        """Record one message leg into the tracer and metrics (no-op
+        with observation disabled)."""
+        if self._tracer is not None:
+            fields: Dict[str, Any] = {
+                "t": self.sim.now, "src": src_id, "dst": dst_id,
+                "method": method, "bytes": size_bytes,
+            }
+            if reason is not None:
+                fields["reason"] = reason
+            if leg is not None:
+                fields["leg"] = leg
+            self._tracer.emit(kind, **fields)
+        if self._metrics is not None:
+            if kind == "msg_send":
+                self._metrics.inc("net.messages_sent")
+            elif kind == "msg_deliver":
+                self._metrics.inc("net.messages_delivered")
+            else:
+                self._metrics.inc("net.messages_dropped")
+                self._metrics.inc(f"net.messages_dropped.{reason}")
 
     def _dropped(self) -> bool:
         return self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate

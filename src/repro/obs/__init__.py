@@ -1,0 +1,44 @@
+"""Observability: zero-cost-when-disabled tracing and metrics.
+
+The paper's feasibility argument (§4, §5.2) is quantitative — whether
+device-grade infrastructure can stand in for datacenters depends on
+per-message drops, RPC latency under churn, and queue behavior, none of
+which terminal summaries expose.  This package makes every layer of the
+library observable without slowing the uninstrumented hot paths:
+
+* :class:`Tracer` — append-only deterministic JSONL spans (engine
+  events, process lifecycle, message legs, RPC attempts, sweep tasks).
+* :class:`Metrics` — named counters, bounded-memory histograms, and
+  gauges shared across engine, transport, and the sweep runner.
+* :func:`observe` — context manager making a tracer/metrics pair
+  ambient, picked up by ``Simulator``/``Network``/``SweepRunner``
+  constructors inside the block.
+* :mod:`repro.obs.reporters` — human and JSON reports plus the JSONL
+  trace-schema validator CI runs.
+
+See ``docs/OBSERVABILITY.md`` for the full API and schema reference.
+"""
+
+from repro.obs.metrics import Histogram, Metrics
+from repro.obs.reporters import (
+    render_report_human,
+    render_report_json,
+    validate_trace_file,
+    validate_trace_line,
+)
+from repro.obs.runtime import Observation, active, observe
+from repro.obs.tracer import TRACE_SCHEMA_VERSION, Tracer
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Histogram",
+    "Metrics",
+    "Observation",
+    "Tracer",
+    "active",
+    "observe",
+    "render_report_human",
+    "render_report_json",
+    "validate_trace_file",
+    "validate_trace_line",
+]

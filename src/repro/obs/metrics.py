@@ -1,0 +1,208 @@
+"""Named metrics: counters, histograms, and last-value gauges.
+
+One :class:`Metrics` registry is threaded through all three hot layers
+(simulation engine, network transport, sweep runner) so a single run —
+or a whole sweep — lands in one mergeable, JSON-able snapshot.
+
+Design constraints, in priority order:
+
+* **Zero cost when disabled** — instrumented code holds ``None`` instead
+  of a registry and guards every record with one ``is not None`` check;
+  nothing here runs at all.
+* **Bounded memory when enabled** — :class:`Histogram` keeps streaming
+  aggregates (count/sum/min/max) plus power-of-two bucket counts, and
+  retains raw samples only up to a fixed cap, so tracing a
+  multi-million-event simulation cannot exhaust memory.
+* **Deterministic output** — snapshots sort every name; nothing reads
+  the host clock or ``id()``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["Histogram", "Metrics", "RAW_SAMPLE_CAP"]
+
+#: Raw observations a histogram retains verbatim (streaming aggregates
+#: keep counting past the cap; ``truncated`` flags the overflow).
+RAW_SAMPLE_CAP = 4096
+
+
+class Histogram:
+    """Streaming distribution of observed values.
+
+    Exact count/sum/min/max always; raw values up to
+    :data:`RAW_SAMPLE_CAP` for percentile queries on small samples;
+    power-of-two magnitude buckets for a shape sketch at any scale.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum", "_raw", "_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._raw: List[float] = []
+        self._buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self._raw) < RAW_SAMPLE_CAP:
+            self._raw.append(value)
+        bucket = _bucket_of(value)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("mean of an empty histogram")
+        # Clamp: float summation can drift a few ULPs outside [min, max].
+        return min(max(self.total / self.count, self.minimum), self.maximum)
+
+    @property
+    def truncated(self) -> bool:
+        """True when raw retention overflowed (aggregates stay exact)."""
+        return self.count > len(self._raw)
+
+    def values(self) -> List[float]:
+        """Retained raw observations (all of them unless ``truncated``)."""
+        return list(self._raw)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the *retained* raw sample."""
+        if not self._raw:
+            raise ValueError("percentile of an empty histogram")
+        ordered = sorted(self._raw)
+        rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        room = RAW_SAMPLE_CAP - len(self._raw)
+        if room > 0:
+            self._raw.extend(other._raw[:room])
+        for bucket, n in other._buckets.items():
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + n
+
+    def summary(self) -> Dict[str, Any]:
+        if self.count == 0:
+            return {"count": 0}
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "mean": round(self.mean, 9),
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+        if self._raw:
+            out["p50"] = self.percentile(0.50)
+            out["p90"] = self.percentile(0.90)
+            out["p99"] = self.percentile(0.99)
+        if self.truncated:
+            out["truncated"] = True
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram(count={self.count})"
+
+
+def _bucket_of(value: float) -> int:
+    """Power-of-two magnitude bucket index; 0 holds [0, 1), negatives
+    and non-finite values get sentinel buckets."""
+    if value != value or value in (math.inf, -math.inf):
+        return -(10 ** 6)
+    if value < 0:
+        return -1 - _bucket_of(-value)
+    if value < 1.0:
+        return 0
+    return 1 + int(math.log2(value))
+
+
+class Metrics:
+    """The registry: flat ``inc``/``observe``/``set_gauge`` interface.
+
+    Names are dotted strings, conventionally ``<layer>.<metric>``
+    (``sim.events_fired``, ``net.rpc_latency_s``, ``sweep.cache_hits``).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, float] = {}
+
+    # -- recording -------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge for deltas")
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = float(value)
+
+    # -- reading ---------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> Histogram:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        return hist
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    def names(self) -> Iterator[Tuple[str, str]]:
+        """All registered ``(kind, name)`` pairs, sorted."""
+        for name in sorted(self._counters):
+            yield "counter", name
+        for name in sorted(self._gauges):
+            yield "gauge", name
+        for name in sorted(self._histograms):
+            yield "histogram", name
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry into this one (sweep fan-in)."""
+        for name, amount in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0) + amount
+        for name, value in other._gauges.items():
+            self._gauges[name] = value
+        for name, hist in other._histograms.items():
+            self.histogram(name).merge(hist)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A sorted, JSON-able dump of everything recorded."""
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].summary()
+                for k in sorted(self._histograms)
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Metrics(counters={len(self._counters)},"
+            f" histograms={len(self._histograms)},"
+            f" gauges={len(self._gauges)})"
+        )

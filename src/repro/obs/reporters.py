@@ -1,0 +1,169 @@
+"""Human and JSON rendering of traces and metrics, plus trace validation.
+
+The JSON form is a stable machine interface (CI consumes it), mirroring
+:mod:`repro.lint.reporters`::
+
+    {
+      "schema": 1,
+      "experiment": "E4",
+      "trace": {"events": 120, "dropped": 0, "by_kind": {...}},
+      "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
+    }
+
+Trace validation checks the JSONL schema that
+:class:`~repro.obs.tracer.Tracer` writes: every line a JSON object with
+``schema == 1``, an ``int`` ``seq`` strictly increasing from 0, a
+non-empty ``str`` ``kind``, and — when present — a finite, non-negative
+simulated timestamp ``t``.  Unknown kinds and extra fields are allowed
+(the kind set is open), so validation survives new emitters.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import Metrics
+from repro.obs.tracer import TRACE_SCHEMA_VERSION, Tracer
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "render_report_human",
+    "render_report_json",
+    "validate_trace_file",
+    "validate_trace_line",
+]
+
+JSON_SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+def _report_payload(
+    metrics: Optional[Metrics],
+    tracer: Optional[Tracer],
+    experiment: Optional[str],
+) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"schema": JSON_SCHEMA_VERSION}
+    if experiment is not None:
+        payload["experiment"] = experiment
+    if tracer is not None:
+        payload["trace"] = {
+            "events": len(tracer),
+            "dropped": tracer.dropped,
+            "by_kind": tracer.by_kind(),
+        }
+    if metrics is not None:
+        payload["metrics"] = metrics.snapshot()
+    return payload
+
+
+def render_report_json(
+    metrics: Optional[Metrics] = None,
+    tracer: Optional[Tracer] = None,
+    experiment: Optional[str] = None,
+) -> str:
+    return json.dumps(
+        _report_payload(metrics, tracer, experiment), indent=1
+    )
+
+
+def render_report_human(
+    metrics: Optional[Metrics] = None,
+    tracer: Optional[Tracer] = None,
+    experiment: Optional[str] = None,
+) -> str:
+    """Aligned ``name  value`` lines grouped by section; '' when empty."""
+    lines: List[str] = []
+    if experiment is not None:
+        lines.append(f"experiment: {experiment}")
+    if tracer is not None:
+        lines.append(f"trace: {len(tracer)} event(s)"
+                     + (f", {tracer.dropped} dropped" if tracer.dropped else ""))
+        for kind, count in tracer.by_kind().items():
+            lines.append(f"  {kind:<24} {count}")
+    if metrics is not None:
+        snapshot = metrics.snapshot()
+        if snapshot["counters"]:
+            lines.append("counters:")
+            for name, value in snapshot["counters"].items():
+                lines.append(f"  {name:<32} {value}")
+        if snapshot["gauges"]:
+            lines.append("gauges:")
+            for name, value in snapshot["gauges"].items():
+                lines.append(f"  {name:<32} {value:g}")
+        if snapshot["histograms"]:
+            lines.append("histograms:")
+            for name, summary in snapshot["histograms"].items():
+                stats = "  ".join(
+                    f"{key}={summary[key]:g}" if isinstance(summary[key], float)
+                    else f"{key}={summary[key]}"
+                    for key in ("count", "mean", "min", "max", "p50", "p99")
+                    if key in summary
+                )
+                lines.append(f"  {name:<32} {stats}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Trace validation
+# ---------------------------------------------------------------------------
+
+def validate_trace_line(
+    obj: Any, expected_seq: Optional[int] = None
+) -> List[str]:
+    """Schema errors for one decoded trace record ('' clean -> [])."""
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return [f"record is {type(obj).__name__}, expected object"]
+    if obj.get("schema") != TRACE_SCHEMA_VERSION:
+        errors.append(
+            f"schema is {obj.get('schema')!r},"
+            f" expected {TRACE_SCHEMA_VERSION}"
+        )
+    seq = obj.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        errors.append(f"seq is {seq!r}, expected non-negative int")
+    elif expected_seq is not None and seq < expected_seq:
+        errors.append(f"seq {seq} not increasing (expected >= {expected_seq})")
+    kind = obj.get("kind")
+    if not isinstance(kind, str) or not kind:
+        errors.append(f"kind is {kind!r}, expected non-empty string")
+    if "t" in obj:
+        t = obj["t"]
+        if (
+            not isinstance(t, (int, float))
+            or isinstance(t, bool)
+            or not math.isfinite(t)
+            or t < 0
+        ):
+            errors.append(f"t is {t!r}, expected finite non-negative number")
+    return errors
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """All schema errors in a JSONL trace file (empty list when valid).
+
+    Each error is prefixed ``line N:`` for human consumption.
+    """
+    errors: List[str] = []
+    next_seq = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError as exc:
+                errors.append(f"line {lineno}: not JSON ({exc})")
+                continue
+            for error in validate_trace_line(obj, expected_seq=next_seq):
+                errors.append(f"line {lineno}: {error}")
+            seq = obj.get("seq") if isinstance(obj, dict) else None
+            if isinstance(seq, int) and not isinstance(seq, bool):
+                next_seq = max(next_seq, seq + 1)
+    return errors

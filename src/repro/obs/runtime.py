@@ -1,0 +1,69 @@
+"""Ambient observation: the context instrumented layers pick up.
+
+Experiments construct their own :class:`~repro.sim.engine.Simulator`,
+:class:`~repro.net.transport.Network`, and
+:class:`~repro.analysis.runner.SweepRunner` internally, so a caller who
+wants telemetry cannot pass a tracer down every constructor.  Instead::
+
+    tracer, metrics = Tracer(), Metrics()
+    with observe(tracer=tracer, metrics=metrics):
+        run_federation_availability(seed=7)
+    tracer.write_jsonl("trace.jsonl")
+
+Instrumented constructors call :func:`active` exactly once (at build
+time) and keep plain attribute references; with no observation active
+they hold ``None`` and every hook site is a single ``is not None``
+check — the zero-cost-when-disabled contract.
+
+The active observation is process-global, not thread-local: the whole
+library is single-threaded by design (parallelism happens across
+*processes* in the sweep runner, which do not inherit the parent's
+observation — worker tasks run untraced).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.obs.metrics import Metrics
+from repro.obs.tracer import Tracer
+
+__all__ = ["Observation", "active", "observe"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What an ``observe()`` block makes ambient."""
+
+    tracer: Optional[Tracer] = None
+    metrics: Optional[Metrics] = None
+
+
+_ACTIVE: Optional[Observation] = None
+
+
+def active() -> Optional[Observation]:
+    """The current ambient observation, or ``None`` (the common case)."""
+    return _ACTIVE
+
+
+@contextmanager
+def observe(
+    tracer: Optional[Tracer] = None, metrics: Optional[Metrics] = None
+) -> Iterator[Observation]:
+    """Make a tracer and/or metrics registry ambient for the block.
+
+    Nesting replaces the outer observation for the inner block and
+    restores it on exit.  Objects built *before* the block keep their
+    (un)instrumented state — observation is sampled at construction.
+    """
+    global _ACTIVE
+    observation = Observation(tracer=tracer, metrics=metrics)
+    previous = _ACTIVE
+    _ACTIVE = observation
+    try:
+        yield observation
+    finally:
+        _ACTIVE = previous

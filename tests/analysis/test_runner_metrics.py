@@ -1,0 +1,90 @@
+"""Sweep-runner observability: per-task records, cache counters, gauges.
+
+Also covers the acceptance path: a metrics-enabled sweep produces a
+summary (and, with a tracer, ``sweep_task`` trace events) that downstream
+tooling can consume.
+"""
+
+import json
+
+from repro.analysis import SweepCache, SweepRunner
+from repro.obs import Metrics, Tracer, observe, render_report_json
+
+
+def _square(x, seed=0):
+    return {"x": x, "y": x * x}
+
+
+class TestRunnerMetrics:
+    def test_cache_hit_miss_counters(self, tmp_path):
+        configs = [{"x": 1}, {"x": 2}, {"x": 3}]
+
+        cold_metrics = Metrics()
+        cold = SweepRunner(cache=SweepCache(str(tmp_path)),
+                           metrics=cold_metrics)
+        cold.run("sq", _square, configs)
+        assert cold_metrics.counter("sweep.cache_misses") == 3
+        assert cold_metrics.counter("sweep.cache_hits") == 0
+        assert cold_metrics.histogram("sweep.task_wall_s").count == 3
+
+        warm_metrics = Metrics()
+        warm = SweepRunner(cache=SweepCache(str(tmp_path)),
+                           metrics=warm_metrics)
+        warm.run("sq", _square, configs)
+        assert warm_metrics.counter("sweep.cache_hits") == 3
+        assert warm_metrics.counter("sweep.cache_misses") == 0
+        # Cached replays do not pollute the wall-time histogram.
+        assert warm_metrics.histogram("sweep.task_wall_s").count == 0
+
+    def test_utilization_gauges_set(self):
+        metrics = Metrics()
+        runner = SweepRunner(metrics=metrics)
+        runner.run("sq", _square, [{"x": 1}, {"x": 2}])
+        assert metrics.gauge("sweep.workers") == 1.0
+        assert metrics.gauge("sweep.wall_s") > 0.0
+        assert 0.0 <= metrics.gauge("sweep.worker_utilization") <= 1.0
+
+    def test_sweep_task_trace_events(self, tmp_path):
+        tracer = Tracer()
+        runner = SweepRunner(cache=SweepCache(str(tmp_path)), tracer=tracer)
+        runner.run("sq", _square, [{"x": 1}, {"x": 2}])
+        runner.run("sq", _square, [{"x": 1}])  # warm replay
+        tasks = list(tracer.iter_kind("sweep_task"))
+        assert [t["cached"] for t in tasks] == [False, False, True]
+        assert all(t["experiment"] == "sq" for t in tasks)
+        # Cache identity in the trace matches the runner's own key.
+        assert tasks[0]["config_hash"] == tasks[2]["config_hash"]
+        assert tasks[2]["elapsed_s"] == 0.0
+
+    def test_runner_adopts_ambient_observation(self):
+        metrics = Metrics()
+        with observe(metrics=metrics):
+            runner = SweepRunner()
+        runner.run("sq", _square, [{"x": 5}])
+        assert metrics.counter("sweep.cache_misses") == 1
+
+    def test_unobserved_runner_records_nothing(self):
+        runner = SweepRunner()
+        assert runner._metrics is None and runner._tracer is None
+        results = runner.run("sq", _square, [{"x": 4}])
+        assert results == [{"x": 4, "y": 16}]
+
+    def test_metrics_summary_consumable_as_json(self):
+        """The acceptance check: run a sweep under metrics, feed the
+        registry through the JSON reporter, and consume the payload."""
+        metrics = Metrics()
+        runner = SweepRunner(metrics=metrics)
+        runner.run("sq", _square, [{"x": i} for i in range(4)])
+        payload = json.loads(render_report_json(metrics))
+        assert payload["metrics"]["counters"]["sweep.cache_misses"] == 4
+        hist = payload["metrics"]["histograms"]["sweep.task_wall_s"]
+        assert hist["count"] == 4
+        assert payload["metrics"]["gauges"]["sweep.workers"] == 1.0
+
+    def test_parallel_run_still_counts_every_task(self, tmp_path):
+        metrics = Metrics()
+        runner = SweepRunner(workers=2, cache=SweepCache(str(tmp_path)),
+                             metrics=metrics)
+        results = runner.run("sq", _square, [{"x": i} for i in range(6)])
+        assert [r["y"] for r in results] == [0, 1, 4, 9, 16, 25]
+        assert metrics.counter("sweep.cache_misses") == 6

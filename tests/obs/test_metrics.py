@@ -1,0 +1,148 @@
+"""Unit tests for the metrics registry and streaming histograms."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import Metrics
+from repro.obs.metrics import RAW_SAMPLE_CAP, Histogram, _bucket_of
+
+
+class TestHistogram:
+    def test_streaming_aggregates(self):
+        hist = Histogram()
+        for value in (3.0, 1.0, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.minimum == 1.0
+        assert hist.maximum == 3.0
+        assert hist.mean == 2.0
+
+    def test_empty_mean_and_percentile_raise(self):
+        hist = Histogram()
+        with pytest.raises(ValueError):
+            hist.mean
+        with pytest.raises(ValueError):
+            hist.percentile(0.5)
+
+    def test_percentiles_nearest_rank(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(0.50) == 50.0
+        assert hist.percentile(0.90) == 90.0
+        assert hist.percentile(0.99) == 99.0
+        assert hist.percentile(0.0) == 1.0
+        assert hist.percentile(1.0) == 100.0
+
+    def test_raw_retention_caps_but_aggregates_stay_exact(self):
+        hist = Histogram()
+        n = RAW_SAMPLE_CAP + 100
+        for value in range(n):
+            hist.observe(float(value))
+        assert hist.count == n
+        assert len(hist.values()) == RAW_SAMPLE_CAP
+        assert hist.truncated
+        assert hist.maximum == float(n - 1)  # exact despite truncation
+        assert hist.summary()["truncated"] is True
+
+    def test_merge_combines_runs(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        a.observe(2.0)
+        b.observe(10.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.maximum == 10.0
+        assert a.total == 13.0
+        assert sorted(a.values()) == [1.0, 2.0, 10.0]
+
+    def test_summary_empty(self):
+        assert Histogram().summary() == {"count": 0}
+
+    def test_summary_fields(self):
+        hist = Histogram()
+        for value in (0.5, 1.5, 2.5):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 0.5
+        assert summary["max"] == 2.5
+        assert summary["mean"] == pytest.approx(1.5)
+        assert "p50" in summary and "p99" in summary
+        assert "truncated" not in summary
+
+    def test_bucket_edges(self):
+        assert _bucket_of(0.0) == 0
+        assert _bucket_of(0.999) == 0
+        assert _bucket_of(1.0) == 1
+        assert _bucket_of(2.0) == 2
+        assert _bucket_of(1024.0) == 11
+        assert _bucket_of(-1.0) < 0
+        assert _bucket_of(math.inf) == _bucket_of(math.nan)
+
+
+class TestMetrics:
+    def test_counters(self):
+        metrics = Metrics()
+        metrics.inc("a")
+        metrics.inc("a", 4)
+        assert metrics.counter("a") == 5
+        assert metrics.counter("missing") == 0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Metrics().inc("a", -1)
+
+    def test_gauges(self):
+        metrics = Metrics()
+        metrics.set_gauge("g", 1.5)
+        metrics.set_gauge("g", 2.5)  # last write wins
+        assert metrics.gauge("g") == 2.5
+        assert metrics.gauge("missing") == 0.0
+        assert metrics.gauge("missing", -1.0) == -1.0
+
+    def test_observe_creates_histogram(self):
+        metrics = Metrics()
+        metrics.observe("h", 1.0)
+        metrics.observe("h", 3.0)
+        assert metrics.histogram("h").count == 2
+        assert metrics.histogram("h").mean == 2.0
+
+    def test_names_sorted_by_kind_then_name(self):
+        metrics = Metrics()
+        metrics.inc("z.count")
+        metrics.inc("a.count")
+        metrics.set_gauge("m.gauge", 1.0)
+        metrics.observe("h.hist", 1.0)
+        assert list(metrics.names()) == [
+            ("counter", "a.count"),
+            ("counter", "z.count"),
+            ("gauge", "m.gauge"),
+            ("histogram", "h.hist"),
+        ]
+
+    def test_merge(self):
+        a, b = Metrics(), Metrics()
+        a.inc("c", 2)
+        b.inc("c", 3)
+        b.set_gauge("g", 9.0)
+        b.observe("h", 1.0)
+        a.merge(b)
+        assert a.counter("c") == 5
+        assert a.gauge("g") == 9.0
+        assert a.histogram("h").count == 1
+
+    def test_snapshot_is_sorted_and_json_able(self):
+        metrics = Metrics()
+        metrics.inc("b")
+        metrics.inc("a")
+        metrics.observe("lat", 0.25)
+        metrics.set_gauge("util", 0.5)
+        snapshot = metrics.snapshot()
+        assert list(snapshot) == ["counters", "gauges", "histograms"]
+        assert list(snapshot["counters"]) == ["a", "b"]
+        # Round-trips through JSON without custom encoders.
+        assert json.loads(json.dumps(snapshot)) == snapshot

@@ -1,0 +1,136 @@
+"""Tests for obs report rendering and JSONL trace validation."""
+
+import json
+
+from repro.obs import (
+    Metrics,
+    Tracer,
+    render_report_human,
+    render_report_json,
+    validate_trace_file,
+    validate_trace_line,
+)
+from repro.obs.reporters import JSON_SCHEMA_VERSION
+
+
+def _sample_metrics():
+    metrics = Metrics()
+    metrics.inc("net.rpcs_sent", 3)
+    metrics.set_gauge("sweep.workers", 2.0)
+    metrics.observe("net.rpc_latency_s", 0.1)
+    metrics.observe("net.rpc_latency_s", 0.3)
+    return metrics
+
+
+class TestJsonReport:
+    def test_schema_and_sections(self):
+        tracer = Tracer()
+        tracer.emit("rpc", t=0.0)
+        payload = json.loads(
+            render_report_json(_sample_metrics(), tracer, experiment="E4")
+        )
+        assert payload["schema"] == JSON_SCHEMA_VERSION
+        assert payload["experiment"] == "E4"
+        assert payload["trace"] == {
+            "events": 1, "dropped": 0, "by_kind": {"rpc": 1},
+        }
+        assert payload["metrics"]["counters"]["net.rpcs_sent"] == 3
+        assert payload["metrics"]["histograms"]["net.rpc_latency_s"]["count"] == 2
+
+    def test_sections_optional(self):
+        payload = json.loads(render_report_json())
+        assert payload == {"schema": JSON_SCHEMA_VERSION}
+
+
+class TestHumanReport:
+    def test_sections_rendered(self):
+        tracer = Tracer()
+        tracer.emit("msg_send", t=0.0)
+        text = render_report_human(_sample_metrics(), tracer, experiment="E4")
+        assert "experiment: E4" in text
+        assert "trace: 1 event(s)" in text
+        assert "msg_send" in text
+        assert "counters:" in text
+        assert "net.rpcs_sent" in text
+        assert "gauges:" in text
+        assert "histograms:" in text
+        assert "count=2" in text
+
+    def test_empty_report_is_empty(self):
+        assert render_report_human() == ""
+
+    def test_dropped_records_surfaced(self):
+        tracer = Tracer(capacity=1)
+        tracer.emit("a")
+        tracer.emit("b")
+        assert "1 dropped" in render_report_human(tracer=tracer)
+
+
+class TestValidateLine:
+    def test_clean_line(self):
+        line = {"schema": 1, "seq": 0, "kind": "rpc", "t": 1.5, "extra": "ok"}
+        assert validate_trace_line(line) == []
+
+    def test_non_object(self):
+        assert validate_trace_line([1, 2]) == [
+            "record is list, expected object"
+        ]
+
+    def test_bad_schema(self):
+        errors = validate_trace_line({"schema": 2, "seq": 0, "kind": "x"})
+        assert any("schema" in e for e in errors)
+
+    def test_bad_seq(self):
+        for seq in (None, -1, "0", True):
+            errors = validate_trace_line({"schema": 1, "seq": seq, "kind": "x"})
+            assert any("seq" in e for e in errors), seq
+
+    def test_seq_regression_detected(self):
+        errors = validate_trace_line(
+            {"schema": 1, "seq": 3, "kind": "x"}, expected_seq=5
+        )
+        assert any("not increasing" in e for e in errors)
+
+    def test_bad_kind(self):
+        for kind in (None, "", 7):
+            errors = validate_trace_line({"schema": 1, "seq": 0, "kind": kind})
+            assert any("kind" in e for e in errors), kind
+
+    def test_bad_timestamp(self):
+        for t in (-1.0, float("nan"), float("inf"), "0", True):
+            errors = validate_trace_line(
+                {"schema": 1, "seq": 0, "kind": "x", "t": t}
+            )
+            assert any("t is" in e for e in errors), t
+
+    def test_timestamp_optional(self):
+        assert validate_trace_line({"schema": 1, "seq": 0, "kind": "x"}) == []
+
+
+class TestValidateFile:
+    def test_valid_file(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit("a", t=0.0)
+        tracer.emit("b", t=1.0)
+        path = tmp_path / "ok.jsonl"
+        tracer.write_jsonl(str(path))
+        assert validate_trace_file(str(path)) == []
+
+    def test_errors_carry_line_numbers(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"schema":1,"seq":0,"kind":"a"}\n'
+            "not json at all\n"
+            '{"schema":1,"seq":0,"kind":"a"}\n'  # seq regression
+            '{"schema":9,"seq":3,"kind":""}\n'
+        )
+        errors = validate_trace_file(str(path))
+        assert any(e.startswith("line 2: not JSON") for e in errors)
+        assert any(e.startswith("line 3: seq 0 not increasing") for e in errors)
+        assert any(e.startswith("line 4:") and "schema" in e for e in errors)
+        assert any(e.startswith("line 4:") and "kind" in e for e in errors)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"schema":1,"seq":0,"kind":"a"}\n\n\n')
+        assert validate_trace_file(str(path)) == []

@@ -1,0 +1,70 @@
+"""Tests for the ambient observe() context and its pickup at build time."""
+
+from repro.obs import Metrics, Tracer, active, observe
+from repro.sim import Simulator
+
+
+class TestObserveContext:
+    def test_no_observation_by_default(self):
+        assert active() is None
+
+    def test_observe_sets_and_restores(self):
+        tracer, metrics = Tracer(), Metrics()
+        with observe(tracer=tracer, metrics=metrics) as observation:
+            assert active() is observation
+            assert active().tracer is tracer
+            assert active().metrics is metrics
+        assert active() is None
+
+    def test_nested_observe_restores_outer(self):
+        outer, inner = Metrics(), Metrics()
+        with observe(metrics=outer):
+            with observe(metrics=inner):
+                assert active().metrics is inner
+            assert active().metrics is outer
+        assert active() is None
+
+    def test_restored_even_when_block_raises(self):
+        try:
+            with observe(metrics=Metrics()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert active() is None
+
+    def test_partial_observation(self):
+        metrics = Metrics()
+        with observe(metrics=metrics):
+            sim = Simulator()
+        assert sim.metrics is metrics
+        assert sim.tracer is None
+
+
+class TestConstructionTimeSampling:
+    def test_simulator_samples_at_build_time(self):
+        with observe(metrics=Metrics()):
+            inside = Simulator()
+        outside = Simulator()
+        assert inside.metrics is not None
+        assert outside.metrics is None
+
+    def test_explicit_args_override_ambient(self):
+        mine = Metrics()
+        with observe(metrics=Metrics(), tracer=Tracer()):
+            sim = Simulator(metrics=mine)
+        # Explicit construction wins over the ambient observation.
+        assert sim.metrics is mine
+        assert sim.tracer is None
+
+    def test_ambient_metrics_actually_record(self):
+        metrics = Metrics()
+        with observe(metrics=metrics):
+            sim = Simulator()
+
+            def worker():
+                yield 1.0
+
+            sim.spawn(worker())
+            sim.run()
+        assert metrics.counter("sim.events_fired") >= 1
+        assert metrics.counter("sim.processes_finished") == 1

@@ -1,0 +1,96 @@
+"""Unit tests for the deterministic trace buffer and its JSONL form."""
+
+import json
+
+import pytest
+
+from repro.obs import TRACE_SCHEMA_VERSION, Tracer, validate_trace_file
+
+
+class TestEmit:
+    def test_records_carry_schema_seq_kind(self):
+        tracer = Tracer()
+        tracer.emit("a", t=1.0)
+        tracer.emit("b", name="x")
+        first, second = tracer.events
+        assert first == {"schema": TRACE_SCHEMA_VERSION, "seq": 0,
+                         "kind": "a", "t": 1.0}
+        assert second["seq"] == 1
+        assert second["kind"] == "b"
+
+    def test_reserved_fields_rejected(self):
+        tracer = Tracer()
+        for field in ("schema", "seq", "kind"):
+            with pytest.raises(ValueError, match="reserved"):
+                tracer.emit("x", **{field: 99})
+        # A failed emit burns a seq but must not corrupt the buffer.
+        tracer.emit("ok")
+        assert all("kind" in e for e in tracer.events)
+
+    def test_capacity_counts_dropped(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit("e", i=i)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert [e["i"] for e in tracer.events] == [0, 1]
+
+    def test_capacity_zero_drops_everything(self):
+        tracer = Tracer(capacity=0)
+        tracer.emit("e")
+        assert len(tracer) == 0
+        assert tracer.dropped == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=-1)
+
+
+class TestReading:
+    def _sample(self):
+        tracer = Tracer()
+        tracer.emit("send", t=0.0)
+        tracer.emit("recv", t=1.0)
+        tracer.emit("send", t=2.0)
+        return tracer
+
+    def test_count_and_iter_kind(self):
+        tracer = self._sample()
+        assert tracer.count() == 3
+        assert tracer.count("send") == 2
+        assert [e["t"] for e in tracer.iter_kind("send")] == [0.0, 2.0]
+        assert tracer.count("missing") == 0
+
+    def test_by_kind_sorted(self):
+        assert self._sample().by_kind() == {"recv": 1, "send": 2}
+
+    def test_events_returns_copy(self):
+        tracer = self._sample()
+        tracer.events.clear()
+        assert len(tracer) == 3
+
+
+class TestJsonl:
+    def test_empty_trace_is_empty_string(self):
+        assert Tracer().to_jsonl() == ""
+
+    def test_one_compact_object_per_line(self):
+        tracer = Tracer()
+        tracer.emit("a", t=0.5)
+        tracer.emit("b")
+        text = tracer.to_jsonl()
+        assert text.endswith("\n")
+        lines = text.strip().split("\n")
+        assert len(lines) == 2
+        assert " " not in lines[0]  # compact separators
+        assert json.loads(lines[0])["kind"] == "a"
+
+    def test_write_and_validate_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        for i in range(10):
+            tracer.emit("tick", t=float(i))
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write_jsonl(str(path)) == 10
+        assert validate_trace_file(str(path)) == []
+        reloaded = [json.loads(line) for line in path.read_text().splitlines()]
+        assert reloaded == tracer.events
