@@ -315,8 +315,9 @@ class SweepRunner:
         Tasks handed to each worker per dispatch (``ProcessPoolExecutor
         .map`` chunking); raise it for very cheap grid points.
     tracer / metrics:
-        Optional :mod:`repro.obs` hooks.  When omitted, adopts whatever
-        an enclosing :func:`repro.obs.observe` block made ambient.  Each
+        Optional :mod:`repro.obs` hooks.  Each hook that is omitted
+        independently adopts the corresponding ambient one from an
+        enclosing :func:`repro.obs.observe` block.  Each
         grid point then lands as a ``sweep_task`` trace event and feeds
         ``sweep.*`` counters, the task wall-time histogram, and the
         worker-utilization gauge.  (Worker *processes* do not inherit
@@ -336,11 +337,13 @@ class SweepRunner:
     ):
         if chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
-        if tracer is None and metrics is None:
+        if tracer is None or metrics is None:
             observation = _active_observation()
             if observation is not None:
-                tracer = observation.tracer
-                metrics = observation.metrics
+                if tracer is None:
+                    tracer = observation.tracer
+                if metrics is None:
+                    metrics = observation.metrics
         self._tracer = tracer
         self._metrics = metrics
         self.workers = max(1, int(workers))

@@ -22,7 +22,7 @@ kind                 emitted by
 ==================== =====================================================
 ``event_scheduled``  :meth:`Simulator.schedule`
 ``event_fired``      the :meth:`Simulator.run` loop
-``event_cancelled``  cancelled events observed (popped) by the run loop
+``event_cancelled``  event cancellation (at cancel time, drained or not)
 ``process_spawned``  :meth:`Simulator.spawn`
 ``process_finished`` a process generator returning / being interrupted
 ``queue_depth``      periodic queue-depth samples from the run loop

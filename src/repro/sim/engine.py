@@ -28,6 +28,10 @@ The engine uses these to keep the event queue tight:
   — only the join subscription is dropped.)
 * :meth:`Signal.fire` skips waiters whose process has died, and prunes
   cancelled entries, instead of scheduling dead resumes.
+* A combinator that has already completed still tracks the resume event
+  it scheduled, so cancelling the wait *after* completion (a
+  same-instant interrupt racing the resume) tombstones the stale
+  wake-up instead of letting it reach the process's next wait.
 
 Observability
 -------------
@@ -284,7 +288,8 @@ class _AllOfWait:
     the RPC hot path.
     """
 
-    __slots__ = ("callback", "results", "remaining", "cancelled", "cancels")
+    __slots__ = ("callback", "results", "remaining", "cancelled", "cancels",
+                 "event")
 
     def __init__(self, n: int, callback: Callable[[Any], None]):
         self.callback: Optional[Callable[[Any], None]] = callback
@@ -292,6 +297,7 @@ class _AllOfWait:
         self.remaining = n
         self.cancelled = False
         self.cancels: List[CancelFn] = []
+        self.event: Optional[_ScheduledEvent] = None
 
     def child_done(self, index: int, value: Any) -> None:
         if self.cancelled:
@@ -306,9 +312,21 @@ class _AllOfWait:
             self.cancels = []
             self.callback = None
             if callback is not None:
-                callback(list(self.results))
+                # A process-subscribe callback is schedule() and returns
+                # the resume event; keep it so a cancel landing between
+                # completion and the resume firing (same-instant
+                # interrupt) can still tombstone the stale wake-up.
+                maybe_event = callback(list(self.results))
+                if isinstance(maybe_event, _ScheduledEvent):
+                    self.event = maybe_event
 
     def cancel(self) -> None:
+        # After completion the only live resource is the scheduled
+        # resume; invalidate it so it cannot reach the process's next
+        # wait (idempotent: event.cancel is a no-op once popped).
+        event, self.event = self.event, None
+        if event is not None:
+            event.cancel()
         if self.cancelled:
             return
         self.cancelled = True
@@ -359,13 +377,14 @@ class _AnyOfWait:
     and delivers ``(index, value)``; everything after is a no-op.
     """
 
-    __slots__ = ("sim", "callback", "done", "cancels")
+    __slots__ = ("sim", "callback", "done", "cancels", "event")
 
     def __init__(self, sim: "Simulator", callback: Callable[[Any], None]):
         self.sim = sim
         self.callback: Optional[Callable[[Any], None]] = callback
         self.done = False
         self.cancels: List[CancelFn] = []
+        self.event: Optional[_ScheduledEvent] = None
 
     def child_done(self, index: int, value: Any) -> None:
         if self.done:
@@ -385,9 +404,21 @@ class _AnyOfWait:
         self.cancels = []
         self.callback = None
         if callback is not None:
-            callback((index, value))
+            # A process-subscribe callback is schedule() and returns
+            # the resume event; keep it so a cancel landing between
+            # completion and the resume firing (same-instant
+            # interrupt) can still tombstone the stale wake-up.
+            maybe_event = callback((index, value))
+            if isinstance(maybe_event, _ScheduledEvent):
+                self.event = maybe_event
 
     def cancel(self) -> None:
+        # After completion the only live resource is the scheduled
+        # resume; invalidate it so it cannot reach the process's next
+        # wait (idempotent: event.cancel is a no-op once popped).
+        event, self.event = self.event, None
+        if event is not None:
+            event.cancel()
         if self.done:
             return
         self.done = True
@@ -572,13 +603,22 @@ class _ScheduledEvent:
 
         A cancelled event stays in the heap as a tombstone (removal from
         the middle of a binary heap is O(n)); the owning simulator counts
-        tombstones so queue-depth accounting stays exact and O(1).
+        tombstones so queue-depth accounting stays exact and O(1).  The
+        ``event_cancelled`` trace and ``sim.events_cancelled`` counter
+        are recorded here, at cancellation time, so events cancelled but
+        never drained before ``run()`` returns are still counted.
         """
         if self.cancelled or self.popped:
             return
         self.cancelled = True
-        if self.sim is not None:
-            self.sim._tombstones += 1
+        sim = self.sim
+        if sim is not None:
+            sim._tombstones += 1
+            if sim._tracer is not None:
+                sim._tracer.emit("event_cancelled", t=sim.now,
+                                 event_seq=self.seq)
+            if sim._metrics is not None:
+                sim._metrics.inc("sim.events_cancelled")
 
 
 class Simulator:
@@ -593,8 +633,10 @@ class Simulator:
     ----------
     tracer / metrics:
         Optional :class:`repro.obs.Tracer` / :class:`repro.obs.Metrics`
-        hooks.  When omitted, the constructor adopts whatever an
-        enclosing :func:`repro.obs.observe` block made ambient; with no
+        hooks.  Each hook that is omitted independently adopts the
+        corresponding ambient one from an enclosing
+        :func:`repro.obs.observe` block (passing only a tracer still
+        picks up the ambient metrics, and vice versa); with no
         observation active both stay ``None`` and instrumentation costs
         one pointer check per hook site.
     """
@@ -604,11 +646,13 @@ class Simulator:
         tracer: Optional[Tracer] = None,
         metrics: Optional[Metrics] = None,
     ) -> None:
-        if tracer is None and metrics is None:
+        if tracer is None or metrics is None:
             observation = _active_observation()
             if observation is not None:
-                tracer = observation.tracer
-                metrics = observation.metrics
+                if tracer is None:
+                    tracer = observation.tracer
+                if metrics is None:
+                    metrics = observation.metrics
         self._tracer = tracer
         self._metrics = metrics
         self.now: float = 0.0
@@ -701,14 +745,10 @@ class Simulator:
             while queue:
                 event = queue[0][2]
                 if event.cancelled:
+                    # Tombstone: already traced/counted at cancel time.
                     pop(queue)
                     event.popped = True
                     self._tombstones -= 1
-                    if tracer is not None:
-                        tracer.emit("event_cancelled", t=self.now,
-                                    event_seq=event.seq)
-                    if metrics is not None:
-                        metrics.inc("sim.events_cancelled")
                     continue
                 if until is not None and event.time > until:
                     break

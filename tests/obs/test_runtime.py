@@ -50,11 +50,26 @@ class TestConstructionTimeSampling:
 
     def test_explicit_args_override_ambient(self):
         mine = Metrics()
-        with observe(metrics=Metrics(), tracer=Tracer()):
+        ambient_tracer = Tracer()
+        with observe(metrics=Metrics(), tracer=ambient_tracer):
             sim = Simulator(metrics=mine)
-        # Explicit construction wins over the ambient observation.
+        # Explicit construction wins over the ambient observation for
+        # that hook; each omitted hook still adopts its ambient value.
         assert sim.metrics is mine
-        assert sim.tracer is None
+        assert sim.tracer is ambient_tracer
+
+    def test_each_omitted_hook_adopts_independently(self):
+        """Passing only a tracer must not silently drop the ambient
+        metrics registry (and vice versa)."""
+        ambient_tracer, ambient_metrics = Tracer(), Metrics()
+        mine_tracer, mine_metrics = Tracer(), Metrics()
+        with observe(tracer=ambient_tracer, metrics=ambient_metrics):
+            tracer_only = Simulator(tracer=mine_tracer)
+            metrics_only = Simulator(metrics=mine_metrics)
+        assert tracer_only.tracer is mine_tracer
+        assert tracer_only.metrics is ambient_metrics
+        assert metrics_only.metrics is mine_metrics
+        assert metrics_only.tracer is ambient_tracer
 
     def test_ambient_metrics_actually_record(self):
         metrics = Metrics()

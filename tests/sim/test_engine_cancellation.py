@@ -295,19 +295,117 @@ class TestTracingHooks:
         finished = next(tracer.iter_kind("process_finished"))
         assert finished["t"] == 1.0
 
-    def test_cancelled_events_traced_when_popped(self):
+    def test_cancelled_events_traced_at_cancel_time(self):
         tracer = Tracer()
         sim = Simulator(tracer=tracer)
         handle = sim.schedule(1.0, lambda: None)
         handle.cancel()
+        # Traced immediately at cancel time, before any run()...
+        assert tracer.count("event_cancelled") == 1
         sim.run()
+        # ...and not double-counted when the tombstone is drained.
         assert tracer.count("event_cancelled") == 1
         assert tracer.count("event_fired") == 0
+
+    def test_cancellation_counted_even_when_tombstone_never_drained(self):
+        """Pre-fix: only tombstones popped by the run loop were counted,
+        so a cancel whose tombstone never reached the heap top before
+        run() returned was invisible to sim.events_cancelled."""
+        metrics = Metrics()
+        tracer = Tracer()
+        sim = Simulator(tracer=tracer, metrics=metrics)
+        sim.schedule(50.0, lambda: None)  # live event beyond the horizon
+        handle = sim.schedule(100.0, lambda: None)
+        sim.schedule(1.0, handle.cancel)
+        sim.run(until=2.0)
+        # The t=100 tombstone sits behind the live t=50 event and was
+        # never drained, but the cancellation is still counted.
+        assert metrics.counter("sim.events_cancelled") == 1
+        assert tracer.count("event_cancelled") == 1
+        assert sim.pending_events == 1  # only the live t=50 event
 
     def test_disabled_observation_costs_nothing_structural(self):
         sim = Simulator()
         assert sim.tracer is None
         assert sim.metrics is None
+
+
+class TestStaleCombinatorResume:
+    """A same-instant interrupt sequenced *between* a combinator's
+    completion and its scheduled resume must tombstone that resume.
+
+    Pre-fix, the completed wait's cancel() was a no-op, so the stale
+    resume fired after the interrupt moved the generator to a new wait:
+    it cancelled the new wait's subscription and sent the combinator's
+    ``(index, value)`` into the wrong ``yield``.
+    """
+
+    def test_anyof_resume_cancelled_by_same_instant_interrupt(self):
+        sim = Simulator()
+        fast = Signal("fast")
+        wakes = []
+
+        def victim():
+            try:
+                yield AnyOf([fast, Timeout(5.0)])
+            except Interrupt:
+                pass
+            value = yield Timeout(10.0)
+            wakes.append((sim.now, value))
+
+        process = sim.spawn(victim())
+        # At t=1 the fire() schedules the combinator's completion
+        # callback, then the interrupt schedules its own resume; the
+        # completion callback runs next and schedules the combinator
+        # resume *after* the interrupt in the same instant.
+        sim.schedule(1.0, fast.fire, "won")
+        sim.schedule(1.0, process.interrupt, "same-instant")
+        end = sim.run()
+        # Pre-fix: wakes == [(1.0, (0, "won"))] and the run ended at
+        # t=1 — the stale resume reached the Timeout(10.0) wait.
+        assert wakes == [(11.0, None)]
+        assert end == 11.0
+        assert sim.pending_events == 0
+
+    def test_allof_resume_cancelled_by_same_instant_interrupt(self):
+        sim = Simulator()
+        last = Signal("last")
+        wakes = []
+
+        def victim():
+            try:
+                yield AllOf([last, Timeout(0.5)])
+            except Interrupt:
+                pass
+            value = yield Timeout(10.0)
+            wakes.append((sim.now, value))
+
+        process = sim.spawn(victim())
+        sim.schedule(1.0, last.fire, "done")
+        sim.schedule(1.0, process.interrupt, "same-instant")
+        end = sim.run()
+        assert wakes == [(11.0, None)]
+        assert end == 11.0
+        assert sim.pending_events == 0
+
+    def test_normal_combinator_resume_still_delivers(self):
+        """The captured resume event must not suppress the ordinary
+        path: resume fires, process re-waits, nothing is lost."""
+        sim = Simulator()
+        fast = Signal("fast")
+        wakes = []
+
+        def waiter():
+            result = yield AnyOf([fast, Timeout(5.0)])
+            value = yield Timeout(10.0)
+            wakes.append((sim.now, result, value))
+
+        sim.spawn(waiter())
+        sim.schedule(1.0, fast.fire, "won")
+        end = sim.run()
+        assert wakes == [(11.0, (0, "won"), None)]
+        assert end == 11.0
+        assert sim.pending_events == 0
 
 
 class TestCombinatorCancelEdges:
