@@ -12,6 +12,7 @@ Usage::
     python -m repro sweep E8 --metrics     # plus an obs metrics summary
     python -m repro trace E4 --out trace.jsonl  # run under full tracing
     python -m repro lint              # determinism/invariant linter
+    python -m repro chaos E4 --plan server-kill --seed 7  # fault injection
     python -m repro list              # what can be run
 
 Experiment runs use small default parameters (seconds of wall clock);
@@ -236,6 +237,14 @@ def main(argv: List[str] = None) -> int:
     from repro.lint.cli import add_lint_arguments
 
     add_lint_arguments(lint_cmd)
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="run an experiment scenario under a fault plan with"
+             " invariant checking",
+    )
+    from repro.faults.cli import add_chaos_arguments
+
+    add_chaos_arguments(chaos_cmd)
     args = parser.parse_args(argv)
 
     if args.command == "table1":
@@ -258,6 +267,10 @@ def main(argv: List[str] = None) -> int:
         from repro.lint.cli import run_lint
 
         return run_lint(args)
+    elif args.command == "chaos":
+        from repro.faults.cli import run_chaos_command
+
+        return run_chaos_command(args)
     elif args.command == "verify":
         from repro.analysis import verify_reproduction
 
@@ -276,6 +289,11 @@ def main(argv: List[str] = None) -> int:
               f" {' '.join(sorted(_EXPERIMENTS))}")
         print(f"sweepable (python -m repro sweep <id> --workers N):"
               f" {' '.join(sorted(_SWEEPABLE))}")
+        from repro.faults import PRESETS, SCENARIOS
+
+        print("chaos (python -m repro chaos <id> --plan <preset>):"
+              f" {' '.join(sorted(SCENARIOS))}")
+        print(f"fault presets: {' '.join(sorted(PRESETS))}")
     else:
         parser.print_help()
         return 1

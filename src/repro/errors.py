@@ -113,3 +113,25 @@ class WebAppError(ReproError):
 
 class FeasibilityError(ReproError):
     """Invalid input to the infrastructure feasibility model."""
+
+
+class FaultError(ReproError):
+    """A fault plan was malformed or could not be applied to a simulation
+    (unknown node id, overlapping partitions, bad window)."""
+
+
+class InvariantViolation(ReproError):
+    """A registered runtime invariant failed during a chaos run.
+
+    Carries structured context so violations can be reported and traced
+    rather than only stringified: the invariant ``name``, the simulated
+    time ``at`` of the failing check, and a ``details`` mapping of
+    whatever state the predicate chose to expose.
+    """
+
+    def __init__(self, name: str, message: str, at: float, details=None):
+        super().__init__(f"invariant {name!r} violated at t={at:g}: {message}")
+        self.name = name
+        self.message = message
+        self.at = at
+        self.details = dict(details or {})

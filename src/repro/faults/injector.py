@@ -1,0 +1,232 @@
+"""Compile a :class:`~repro.faults.plan.FaultPlan` into simulator events.
+
+The injector is the only component allowed to touch the transport's
+fault surface (lint rule FLT001 enforces this): it schedules every plan
+event on the simulator at :meth:`FaultInjector.arm` time and, as windows
+open and close, recomputes one combined :class:`FaultSurface` for the
+network.
+
+Composition rules for overlapping windows:
+
+* ``DropBurst`` / ``Corrupt`` probabilities combine as independent
+  hazards: ``1 - prod(1 - p_i)``.
+* ``LatencySpike`` factors multiply.
+* ``Partition`` events do **not** compose — the simulated network has a
+  single partition state, so a later ``Partition`` replaces an earlier
+  one (last writer wins) and any ``heal_at`` clears whatever partition
+  is current.  Plans that need re-partitioning express it as a sequence.
+
+Determinism: fault coin flips draw from the dedicated named streams
+``faults.drop`` and ``faults.corrupt``, so opening a window never
+perturbs the base ``net.loss`` sequence, and the same (plan, seed) pair
+replays bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FaultError
+from repro.faults.plan import (
+    Corrupt,
+    Crash,
+    DropBurst,
+    FaultPlan,
+    LatencySpike,
+    Partition,
+)
+from repro.net.churn import ChurnProcess
+from repro.net.transport import FaultSurface, Network
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules a plan's fault events onto a simulator.
+
+    Parameters
+    ----------
+    sim / network / streams:
+        The simulation fabric the faults act on.
+    plan:
+        The declarative fault schedule.
+    churn:
+        Optional mapping of node id to that node's
+        :class:`~repro.net.churn.ChurnProcess`.  ``Crash`` events on a
+        node with churn suspend its renewal clock (so churn cannot
+        revive a crashed node); nodes without churn get a plain
+        liveness flip.
+
+    Call :meth:`arm` exactly once, before ``sim.run()``.  All plan
+    events are validated and scheduled up front; nothing about the
+    injector consults wall-clock time or unseeded randomness.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        plan: FaultPlan,
+        streams: RngStreams,
+        churn: Optional[Dict[str, ChurnProcess]] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.plan = plan
+        self.churn = dict(churn or {})
+        self._armed = False
+        # Open transport-fault windows, keyed by plan position so two
+        # identical windows stay distinct.
+        self._open_drops: List[DropBurst] = []
+        self._open_spikes: List[LatencySpike] = []
+        self._open_corrupts: List[Corrupt] = []
+        self._active_partition: Optional[Partition] = None
+        self._crashed_nodes: List[str] = []
+        self.last_heal_at: Optional[float] = None
+        self.injected = 0
+        self.healed = 0
+        needs_drop = any(isinstance(e, DropBurst) for e in plan)
+        needs_corrupt = any(isinstance(e, Corrupt) for e in plan)
+        self._drop_rng = streams.stream("faults.drop") if needs_drop else None
+        self._corrupt_rng = (
+            streams.stream("faults.corrupt") if needs_corrupt else None
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def arm(self) -> None:
+        """Validate the plan against the network and schedule every event."""
+        if self._armed:
+            raise FaultError("injector already armed")
+        self._armed = True
+        for node_id in self.plan.node_ids():
+            if not self.network.has_node(node_id):
+                raise FaultError(
+                    f"plan {self.plan.name!r} references unknown node"
+                    f" {node_id!r}"
+                )
+        for event in self.plan:
+            if isinstance(event, Partition):
+                self.sim.schedule_at(event.at, self._start_partition, event)
+                if event.heal_at is not None:
+                    self.sim.schedule_at(
+                        event.heal_at, self._heal_partition, event
+                    )
+            elif isinstance(event, Crash):
+                self.sim.schedule_at(event.at, self._crash, event)
+                if event.restart_at is not None:
+                    self.sim.schedule_at(event.restart_at, self._restart, event)
+            else:  # windowed transport fault
+                self.sim.schedule_at(event.at, self._open_window, event)
+                self.sim.schedule_at(event.until, self._close_window, event)
+
+    @property
+    def partition_active(self) -> bool:
+        return self._active_partition is not None
+
+    @property
+    def crashed_nodes(self) -> Tuple[str, ...]:
+        """Nodes currently held down by a plan ``Crash``."""
+        return tuple(self._crashed_nodes)
+
+    # -- event handlers --------------------------------------------------
+
+    def _start_partition(self, event: Partition) -> None:
+        self.network.partition(event.groups)
+        self._active_partition = event
+        self._record("fault_injected", event)
+
+    def _heal_partition(self, event: Partition) -> None:
+        # Last-writer-wins: a later Partition may have replaced `event`;
+        # healing clears whatever partition is current either way.
+        self.network.heal()
+        self._active_partition = None
+        self.last_heal_at = self.sim.now
+        self._record("fault_healed", event)
+
+    def _crash(self, event: Crash) -> None:
+        process = self.churn.get(event.node)
+        if process is not None:
+            process.crash()
+        else:
+            self.network.node(event.node).set_online(False, self.sim.now)
+        if event.node not in self._crashed_nodes:
+            self._crashed_nodes.append(event.node)
+        self._record("fault_injected", event)
+
+    def _restart(self, event: Crash) -> None:
+        process = self.churn.get(event.node)
+        if process is not None:
+            process.restore()
+        else:
+            self.network.node(event.node).set_online(True, self.sim.now)
+        if event.node in self._crashed_nodes:
+            self._crashed_nodes.remove(event.node)
+        self._record("fault_healed", event)
+
+    def _open_window(self, event) -> None:
+        if isinstance(event, DropBurst):
+            self._open_drops.append(event)
+        elif isinstance(event, LatencySpike):
+            self._open_spikes.append(event)
+        else:
+            self._open_corrupts.append(event)
+        self._refresh_surface()
+        self._record("fault_injected", event)
+
+    def _close_window(self, event) -> None:
+        if isinstance(event, DropBurst):
+            self._open_drops.remove(event)
+        elif isinstance(event, LatencySpike):
+            self._open_spikes.remove(event)
+        else:
+            self._open_corrupts.remove(event)
+        self._refresh_surface()
+        self.last_heal_at = self.sim.now
+        self._record("fault_healed", event)
+
+    # -- surface maintenance ---------------------------------------------
+
+    def _refresh_surface(self) -> None:
+        if not (self._open_drops or self._open_spikes or self._open_corrupts):
+            self.network._set_fault_surface(None)
+            return
+        drop = _combined_prob(e.prob for e in self._open_drops)
+        corrupt = _combined_prob(e.prob for e in self._open_corrupts)
+        factor = 1.0
+        for spike in self._open_spikes:
+            factor *= spike.factor
+        self.network._set_fault_surface(FaultSurface(
+            drop_prob=drop,
+            latency_factor=factor,
+            corrupt_prob=corrupt,
+            drop_rng=self._drop_rng,
+            corrupt_rng=self._corrupt_rng,
+        ))
+
+    def _record(self, kind: str, event) -> None:
+        if kind == "fault_injected":
+            self.injected += 1
+        else:
+            self.healed += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            fields = {"t": self.sim.now, "fault": event.kind,
+                      "plan": self.plan.name}
+            node = getattr(event, "node", None)
+            if node is not None:
+                fields["node"] = node
+            tracer.emit(kind, **fields)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc(f"faults.{'injected' if kind == 'fault_injected' else 'healed'}")
+
+
+def _combined_prob(probs) -> float:
+    """Independent-hazard composition: ``1 - prod(1 - p)``."""
+    survive = 1.0
+    for p in probs:
+        survive *= 1.0 - p
+    return 1.0 - survive

@@ -1,0 +1,127 @@
+"""Named fault plans matching the chaos scenarios' node conventions.
+
+Each preset is a zero-argument factory returning a fresh
+:class:`~repro.faults.plan.FaultPlan`.  Node ids follow the scenario
+naming in :mod:`repro.faults.scenarios` (``srv<i>`` federation servers,
+``dev<ii>`` E5 devices, ``prov<i>`` E9 providers, ``client0``/``ca``
+for E6), so a preset pairs with the experiment it was written for:
+
+=========================== ==========  =======================================
+preset                      experiment  what it exercises
+=========================== ==========  =======================================
+``quiet``                   any         no faults (baseline / overhead check)
+``server-kill``             E4          one permanent + one transient server
+                                        crash under replicated federation
+``churn-storm``             E5          loss burst + latency spike + a wave of
+                                        device crashes on top of churn
+``registration-partition``  E6          client cut off from the CA mid-
+                                        registration, healing later
+``registration-partition-`` E6          the same partition, never healed — the
+``noheal``                              mutation-smoke plan a liveness
+                                        invariant must catch
+``device-flap``             E9          staggered crash/restart across every
+                                        storage provider
+=========================== ==========  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import FaultError
+from repro.faults.plan import (
+    Corrupt,
+    Crash,
+    DropBurst,
+    FaultPlan,
+    LatencySpike,
+    Partition,
+)
+
+__all__ = ["PRESETS", "load_plan", "preset_plan"]
+
+
+def _quiet() -> FaultPlan:
+    return FaultPlan([], name="quiet")
+
+
+def _server_kill() -> FaultPlan:
+    return FaultPlan(
+        [
+            Crash("srv0", at=60.0),                      # never restarts
+            Crash("srv1", at=90.0, restart_at=240.0),
+        ],
+        name="server-kill",
+    )
+
+
+def _churn_storm() -> FaultPlan:
+    events: List = [
+        DropBurst(window=(100.0, 200.0), prob=0.4),
+        LatencySpike(window=(150.0, 250.0), factor=4.0),
+        Corrupt(window=(160.0, 220.0), prob=0.1),
+    ]
+    for i in range(4):
+        events.append(Crash(f"dev{i:02d}", at=120.0, restart_at=180.0))
+    return FaultPlan(events, name="churn-storm")
+
+
+def _registration_partition() -> FaultPlan:
+    return FaultPlan(
+        [Partition((("client0",), ("ca",)), at=5.0, heal_at=75.0)],
+        name="registration-partition",
+    )
+
+
+def _registration_partition_noheal() -> FaultPlan:
+    # Mutation smoke: the heal event deliberately removed.  The E6
+    # liveness invariant (registration completes by its deadline) must
+    # flag this plan; tests pin that it does.
+    return FaultPlan(
+        [Partition((("client0",), ("ca",)), at=5.0)],
+        name="registration-partition-noheal",
+    )
+
+
+def _device_flap() -> FaultPlan:
+    return FaultPlan(
+        [
+            Crash(f"prov{i}", at=50.0 + 10.0 * i, restart_at=80.0 + 10.0 * i)
+            for i in range(8)
+        ],
+        name="device-flap",
+    )
+
+
+#: Preset name -> plan factory.  Factories, not instances, so callers
+#: can never mutate a shared plan.
+PRESETS: Dict[str, Callable[[], FaultPlan]] = {
+    "quiet": _quiet,
+    "server-kill": _server_kill,
+    "churn-storm": _churn_storm,
+    "registration-partition": _registration_partition,
+    "registration-partition-noheal": _registration_partition_noheal,
+    "device-flap": _device_flap,
+}
+
+
+def preset_plan(name: str) -> FaultPlan:
+    """Instantiate a preset by name; raises FaultError on unknown names."""
+    factory = PRESETS.get(name)
+    if factory is None:
+        raise FaultError(
+            f"unknown preset {name!r}; available: {', '.join(sorted(PRESETS))}"
+        )
+    return factory()
+
+
+def load_plan(spec: str) -> FaultPlan:
+    """Resolve a CLI ``--plan`` value: preset name or JSON file path."""
+    if spec in PRESETS:
+        return preset_plan(spec)
+    if spec.endswith(".json"):
+        return FaultPlan.from_file(spec)
+    raise FaultError(
+        f"--plan {spec!r} is neither a preset"
+        f" ({', '.join(sorted(PRESETS))}) nor a .json plan file"
+    )

@@ -1,0 +1,410 @@
+"""Chaos scenarios: experiment-shaped workloads run under a fault plan.
+
+Each ``run_chaos_*`` function rebuilds a small, fast variant of one of
+the paper's experiments, arms a :class:`~repro.faults.FaultInjector`
+with the caller's plan, sweeps an :class:`~repro.faults.InvariantHarness`
+throughout, and returns one JSON-friendly result dict:
+
+``experiment`` / ``plan`` / ``seed`` / ``horizon`` — run identity;
+``result`` — the scenario's own measurements (availability, latency,
+repair bytes, ...); ``flow`` — the transport conservation snapshot;
+``faults`` — injected/healed counts; ``invariants`` + ``violations`` —
+what the harness checked and what failed.
+
+The scenarios' node naming is the contract the presets in
+:mod:`repro.faults.presets` target: ``srv<i>`` (E4 federation servers),
+``dev<ii>`` (E5 devices), ``client0``/``ca`` (E6), ``prov<i>`` (E9
+providers).
+
+Everything is deterministic in (plan, seed): all randomness flows
+through :class:`~repro.sim.rng.RngStreams`, and observation hooks are
+adopted from any enclosing :func:`repro.obs.observe` block, so the CLI
+gets full traces without the scenarios knowing about it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List
+
+from repro.crypto.keys import generate_keypair
+from repro.errors import (
+    FaultError,
+    NameTakenError,
+    RpcTimeoutError,
+    StorageError,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    InvariantContext,
+    InvariantHarness,
+    eventually,
+    message_conservation,
+    monotonic,
+    no_double_resume,
+    read_your_writes,
+)
+from repro.faults.plan import FaultPlan
+from repro.groupcomm.federated import ReplicatedFederation
+from repro.naming.centralized_pki import CentralizedPKI
+from repro.net.churn import ChurnProcess, ChurnProfile, attach_churn
+from repro.net.node import NodeClass
+from repro.net.transport import Network
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.storage.blob import DataBlob
+from repro.storage.provider import StorageProvider
+from repro.storage.replication import ReplicatedBlobStore
+
+__all__ = [
+    "SCENARIOS",
+    "run_chaos",
+    "run_chaos_e4",
+    "run_chaos_e5",
+    "run_chaos_e6",
+    "run_chaos_e9",
+]
+
+
+def _assemble(
+    experiment: str,
+    plan: FaultPlan,
+    seed: int,
+    sim: Simulator,
+    network: Network,
+    injector: FaultInjector,
+    harness: InvariantHarness,
+    result: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Close the harness and build the common result envelope."""
+    violations = harness.finish()
+    return {
+        "experiment": experiment,
+        "plan": plan.name,
+        "seed": seed,
+        "horizon": sim.now,
+        "result": result,
+        "flow": network.flow_snapshot(),
+        "faults": {"injected": injector.injected, "healed": injector.healed},
+        "invariants": {
+            "registered": len(harness.invariants),
+            "checks_run": harness.checks_run,
+            "violated": len(violations),
+        },
+        "violations": [
+            {
+                "name": v.name,
+                "message": v.message,
+                "at": v.at,
+                "details": v.details,
+            }
+            for v in violations
+        ],
+    }
+
+
+# -- E4: replicated federation availability under server kills -----------
+
+
+def run_chaos_e4(
+    plan: FaultPlan, seed: int, interval: float = 5.0
+) -> Dict[str, Any]:
+    """E4 variant: 4-server replicated federation, 12 users, failover on.
+
+    One user posts six messages early; at t=400 every user fetches the
+    room (failing over from dead home servers).  Availability is the
+    fraction of users whose fetch returns the full room.
+    """
+    sim = Simulator()
+    streams = RngStreams(seed)
+    network = Network(sim, streams)
+    servers = [f"srv{i}" for i in range(4)]
+    fed = ReplicatedFederation(
+        network, servers, streams, gossip_interval=2.0, allow_failover=True
+    )
+    users = [f"user{i:02d}" for i in range(12)]
+    for user in users:
+        fed.add_user(user)  # round-robin homes: user00->srv0, ...
+    fed.create_room("room", users)
+    fed.start_replication()
+
+    posted: List[str] = []
+    post_times: Dict[str, float] = {}
+    reads = {"ok": 0, "failed": 0}
+
+    def poster() -> Generator:
+        yield 10.0
+        for i in range(6):
+            msg_id = yield from fed.post("user02", "room", f"msg-{i}")
+            posted.append(msg_id)
+            post_times[msg_id] = sim.now
+            yield 5.0
+
+    def reader(user: str) -> Generator:
+        try:
+            messages = yield from fed.fetch(user, "room")
+        except RpcTimeoutError:
+            reads["failed"] += 1
+            return
+        if len(messages) == len(posted):
+            reads["ok"] += 1
+        else:
+            reads["failed"] += 1
+
+    def start_readers() -> None:
+        for user in users:
+            sim.spawn(reader(user), name=f"reader-{user}")
+
+    sim.spawn(poster(), name="poster")
+    sim.schedule_at(400.0, start_readers)
+
+    def replicas_probe(ctx: InvariantContext):
+        # After heal (+grace), every *online* server's anti-entropy
+        # replica must hold every posted message old enough for gossip
+        # to have propagated (5 rounds of the 2 s interval).
+        settled = [m for m in posted if ctx.now >= post_times[m] + 10.0]
+        for server_id in servers:
+            if not network.node(server_id).online:
+                continue
+            store = fed.replicas[server_id].store
+            keys = set(store.keys())
+            missing = [m for m in settled if f"room/{m}" not in keys]
+            if missing:
+                return (
+                    f"{server_id} missing {len(missing)} posted message(s)",
+                    {"server": server_id, "missing": len(missing)},
+                )
+        return None
+
+    injector = FaultInjector(sim, network, plan, streams)
+    harness = InvariantHarness(sim, network, injector, interval=interval)
+    harness.add(message_conservation())
+    harness.add(no_double_resume())
+    harness.add(read_your_writes(replicas_probe, grace=30.0))
+    injector.arm()
+    harness.start()
+    sim.run(until=600.0)
+
+    total = reads["ok"] + reads["failed"]
+    result = {
+        "posted": len(posted),
+        "reads_ok": reads["ok"],
+        "reads_failed": reads["failed"],
+        "availability": reads["ok"] / total if total else 0.0,
+    }
+    return _assemble("E4", plan, seed, sim, network, injector, harness, result)
+
+
+# -- E5: device fleet pinging a datacenter through a churn storm ---------
+
+
+def run_chaos_e5(
+    plan: FaultPlan, seed: int, interval: float = 5.0
+) -> Dict[str, Any]:
+    """E5 variant: 16 churning devices ping a datacenter every 10 s.
+
+    The measurement is the ping success rate — the §5.2 social cost of
+    device-grade infrastructure, degraded further by whatever the plan
+    throws at the transport.
+    """
+    sim = Simulator()
+    streams = RngStreams(seed)
+    network = Network(sim, streams)
+    dc = network.create_node("dc", node_class=NodeClass.DATACENTER)
+    dc.register_handler("ping", lambda node, payload, sender: "pong")
+    devices = [
+        network.create_node(f"dev{i:02d}", node_class=NodeClass.SMARTPHONE)
+        for i in range(16)
+    ]
+    profile = ChurnProfile(mean_uptime=300.0, mean_downtime=100.0,
+                           name="e5-device")
+    churn_processes = attach_churn(sim, streams, devices, profile)
+    churn: Dict[str, ChurnProcess] = {
+        p.node.node_id: p for p in churn_processes
+    }
+
+    pings = {"attempts": 0, "ok": 0}
+
+    def pinger(device_id: str) -> Generator:
+        while True:
+            yield 10.0
+            if not network.node(device_id).online:
+                continue  # an offline device does not originate traffic
+            pings["attempts"] += 1
+            try:
+                yield from network.rpc(
+                    device_id, "dc", "ping", None, timeout=5.0, retries=1
+                )
+            except RpcTimeoutError:
+                continue
+            pings["ok"] += 1
+
+    for device in devices:
+        sim.spawn(pinger(device.node_id), name=f"pinger-{device.node_id}")
+
+    injector = FaultInjector(sim, network, plan, streams, churn=churn)
+    harness = InvariantHarness(sim, network, injector, interval=interval)
+    harness.add(message_conservation())
+    harness.add(no_double_resume())
+    injector.arm()
+    harness.start()
+    sim.run(until=400.0)
+
+    result = {
+        "ping_attempts": pings["attempts"],
+        "ping_ok": pings["ok"],
+        "ping_success_rate": (
+            pings["ok"] / pings["attempts"] if pings["attempts"] else 0.0
+        ),
+    }
+    return _assemble("E5", plan, seed, sim, network, injector, harness, result)
+
+
+# -- E6: name registration while partitioned from the CA -----------------
+
+
+def run_chaos_e6(
+    plan: FaultPlan, seed: int, interval: float = 5.0
+) -> Dict[str, Any]:
+    """E6 variant: a client registers a name, retrying through faults.
+
+    The client starts at t=10 and re-issues the registration on every
+    timeout; the measurement is end-to-end registration latency.  The
+    liveness invariant requires completion by t=150, which the
+    ``registration-partition-noheal`` mutation plan must violate.
+    """
+    sim = Simulator()
+    streams = RngStreams(seed)
+    network = Network(sim, streams)
+    pki = CentralizedPKI(network)  # creates the "ca" node
+    network.create_node("client0", node_class=NodeClass.PERSONAL_COMPUTER)
+    keypair = generate_keypair("client0-key")
+
+    outcome: Dict[str, Any] = {"registered": False, "attempts": 0,
+                               "latency": None}
+
+    def registrar() -> Generator:
+        yield 10.0
+        start = sim.now
+        while True:
+            outcome["attempts"] += 1
+            try:
+                yield from pki.register(
+                    keypair, "alice", {"host": "client0"}, client="client0"
+                )
+            except RpcTimeoutError:
+                continue
+            except NameTakenError:
+                pass  # an earlier attempt landed after all
+            outcome["registered"] = True
+            outcome["latency"] = sim.now - start
+            return
+
+    sim.spawn(registrar(), name="registrar")
+
+    injector = FaultInjector(sim, network, plan, streams)
+    harness = InvariantHarness(sim, network, injector, interval=interval)
+    harness.add(message_conservation())
+    harness.add(no_double_resume())
+    harness.add(monotonic(
+        "names_registered_monotonic",
+        lambda ctx: float(pki.names_registered),
+    ))
+    harness.add(eventually(
+        "registration_completes", deadline=150.0,
+        predicate=lambda ctx: outcome["registered"],
+    ))
+    injector.arm()
+    harness.start()
+    sim.run(until=200.0)
+
+    result = dict(outcome)
+    return _assemble("E6", plan, seed, sim, network, injector, harness, result)
+
+
+# -- E9: replicated blob storage across flapping devices -----------------
+
+
+def run_chaos_e9(
+    plan: FaultPlan, seed: int, interval: float = 5.0
+) -> Dict[str, Any]:
+    """E9 variant: a 3-way replicated blob on 8 device-grade providers.
+
+    A repair loop re-replicates every 20 s; a prober retrieves the blob
+    every 25 s.  Measurements: retrieval availability and total repair
+    traffic (the §5.2 redundancy bandwidth cost).
+    """
+    sim = Simulator()
+    streams = RngStreams(seed)
+    network = Network(sim, streams)
+    providers = [
+        StorageProvider(network, f"prov{i}", node_class=NodeClass.SMARTPHONE)
+        for i in range(8)
+    ]
+    store = ReplicatedBlobStore(
+        network, providers, streams, replication_factor=3, check_interval=20.0
+    )
+    blob = DataBlob.from_bytes(b"\xa5" * 4096, chunk_size=1024)
+    probes = {"attempts": 0, "ok": 0}
+
+    def setup() -> Generator:
+        yield from store.store(blob)
+        store.start_repair()
+
+    def prober() -> Generator:
+        yield 30.0
+        while True:
+            probes["attempts"] += 1
+            try:
+                yield from store.retrieve(blob.merkle_root)
+            except StorageError:
+                pass
+            else:
+                probes["ok"] += 1
+            yield 25.0
+
+    sim.spawn(setup(), name="blob-setup")
+    sim.spawn(prober(), name="blob-prober")
+
+    injector = FaultInjector(sim, network, plan, streams)
+    harness = InvariantHarness(sim, network, injector, interval=interval)
+    harness.add(message_conservation())
+    harness.add(no_double_resume())
+    harness.add(monotonic(
+        "repair_bytes_monotonic",
+        lambda ctx: float(store.repair_bytes()),
+    ))
+    injector.arm()
+    harness.start()
+    sim.run(until=300.0)
+
+    result = {
+        "repair_bytes": store.repair_bytes(),
+        "probe_attempts": probes["attempts"],
+        "probe_ok": probes["ok"],
+        "availability": (
+            probes["ok"] / probes["attempts"] if probes["attempts"] else 0.0
+        ),
+    }
+    return _assemble("E9", plan, seed, sim, network, injector, harness, result)
+
+
+#: Experiment key -> chaos scenario runner.
+SCENARIOS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "E4": run_chaos_e4,
+    "E5": run_chaos_e5,
+    "E6": run_chaos_e6,
+    "E9": run_chaos_e9,
+}
+
+
+def run_chaos(
+    experiment: str, plan: FaultPlan, seed: int, interval: float = 5.0
+) -> Dict[str, Any]:
+    """Dispatch to a chaos scenario by experiment key (``E4``/``E5``/...)."""
+    runner = SCENARIOS.get(experiment)
+    if runner is None:
+        raise FaultError(
+            f"no chaos scenario for {experiment!r}; available:"
+            f" {', '.join(sorted(SCENARIOS))}"
+        )
+    return runner(plan, seed, interval=interval)

@@ -52,6 +52,7 @@ from repro.lint.reporters import render_human, render_json
 from repro.lint import rules_api  # noqa: F401
 from repro.lint import rules_determinism  # noqa: F401
 from repro.lint import rules_errors  # noqa: F401
+from repro.lint import rules_faults  # noqa: F401
 from repro.lint import rules_parallel  # noqa: F401
 
 __all__ = [

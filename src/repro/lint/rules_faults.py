@@ -1,0 +1,87 @@
+"""FLT001: ad-hoc fault injection bypassing ``repro.faults``.
+
+The chaos subsystem's reproducibility rests on every fault being part of
+a declarative :class:`~repro.faults.FaultPlan`: plans are serialized
+into reports, replayed byte-identically, and covered by the invariant
+harness.  Code that pokes the transport's fault state directly —
+assigning ``Network._partition``, swapping the ``_faults`` surface,
+mutating ``loss_rate``/``drop_prob``/``corrupt_prob`` after
+construction, or calling ``_set_fault_surface`` — creates faults no
+plan records, so the run can neither be replayed from its report nor
+checked by FLT-aware tooling.
+
+Exempt: the :mod:`repro.faults` package itself (the one sanctioned
+caller) and ``repro/net/transport.py`` (where the state lives).  The
+public ``Network.partition()`` / ``Network.heal()`` methods and
+constructor parameters (``loss_rate=...``) remain fine everywhere —
+the rule targets attribute *mutation*, not supported API.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import LintContext, Rule, register
+from repro.lint.findings import Finding
+
+__all__ = ["DirectFaultMutation"]
+
+#: Transport fault-state attributes nobody outside the exempt modules
+#: may assign to.
+FAULT_STATE_ATTRS = frozenset({
+    "_partition", "_faults", "loss_rate", "drop_prob", "corrupt_prob",
+    "latency_factor",
+})
+
+#: Internal fault-surface installer only repro.faults may call.
+FAULT_SETTER = "_set_fault_surface"
+
+
+def _is_exempt(ctx: LintContext) -> bool:
+    return ctx.in_package("faults") or ctx.is_module("net", "transport.py")
+
+
+@register
+class DirectFaultMutation(Rule):
+    rule_id = "FLT001"
+    title = "direct mutation of transport fault state outside repro.faults"
+    rationale = (
+        "Faults must be declared as FaultPlan events so chaos runs are"
+        " recorded, replayable, and invariant-checked; assigning"
+        " Network._partition / _faults / loss_rate (or calling"
+        " _set_fault_surface) injects a fault no plan knows about."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if _is_exempt(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in FAULT_STATE_ATTRS
+                    ):
+                        yield ctx.finding(
+                            self.rule_id, node,
+                            f"assignment to '{target.attr}' bypasses"
+                            " repro.faults; express this fault as a"
+                            " FaultPlan event (Partition/DropBurst/...)"
+                            " driven by FaultInjector",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == FAULT_SETTER
+                ):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"call to '{FAULT_SETTER}' outside repro.faults;"
+                        " only FaultInjector may install a fault surface",
+                    )

@@ -19,12 +19,13 @@ from repro.net.latency import (
     UniformLatency,
 )
 from repro.net.node import Node, NodeClass
-from repro.net.transport import DEFAULT_MESSAGE_BYTES, Network
+from repro.net.transport import DEFAULT_MESSAGE_BYTES, FaultSurface, Network
 
 __all__ = [
     "Node",
     "NodeClass",
     "Network",
+    "FaultSurface",
     "DEFAULT_MESSAGE_BYTES",
     "LatencyModel",
     "ConstantLatency",

@@ -93,6 +93,15 @@ class ChurnProcess:
     The process is deterministic given the RNG stream
     ``churn.<node_id>``.  Call :meth:`start` once; :meth:`stop` freezes the
     node in its current state.
+
+    Fault injection (``Crash``/restart events from a
+    :class:`~repro.faults.FaultPlan`) layers on top of the renewal
+    process: :meth:`crash` forces the node offline and *suspends* the
+    renewal clock (cancelling the pending flip, so churn cannot revive a
+    crashed node), and :meth:`restore` brings it back online and
+    restarts the clock.  Both transitions leave the RNG stream untouched
+    — the dwell sequence after a restore continues exactly where an
+    uncrashed run's stream would have, keeping chaos runs replayable.
     """
 
     def __init__(
@@ -107,6 +116,8 @@ class ChurnProcess:
         self.profile = profile
         self._rng = streams.stream(f"churn.{node.node_id}")
         self._stopped = False
+        self._crashed = False
+        self._pending = None  # handle of the next scheduled flip
         self.departed = False
 
     def start(self) -> None:
@@ -116,17 +127,51 @@ class ChurnProcess:
     def stop(self) -> None:
         self._stopped = True
 
-    def _schedule_next(self) -> None:
+    @property
+    def crashed(self) -> bool:
+        """Whether the node is held offline by an injected crash."""
+        return self._crashed
+
+    def crash(self) -> None:
+        """Force the node offline and suspend the renewal process.
+
+        Idempotent; a crashed node stays down (regardless of scheduled
+        churn transitions) until :meth:`restore`.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self.node.set_online(False, self.sim.now)
+
+    def restore(self) -> None:
+        """Bring a crashed node back online and resume the renewal clock.
+
+        A no-op unless crashed; a node that permanently departed (via
+        attrition) or whose process was stopped stays down.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
         if self._stopped or self.departed:
+            return
+        self.node.set_online(True, self.sim.now)
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if self._stopped or self.departed or self._crashed:
             return
         if self.node.online:
             dwell = self._rng.expovariate(1.0 / self.profile.mean_uptime)
         else:
             dwell = self._rng.expovariate(1.0 / self.profile.mean_downtime)
-        self.sim.schedule(dwell, self._flip)
+        self._pending = self.sim.schedule(dwell, self._flip)
 
     def _flip(self) -> None:
-        if self._stopped or self.departed:
+        self._pending = None
+        if self._stopped or self.departed or self._crashed:
             return
         going_offline = self.node.online
         self.node.set_online(not self.node.online, self.sim.now)

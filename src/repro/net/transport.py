@@ -21,11 +21,30 @@ metrics (see :mod:`repro.obs`).  When active, every message leg emits a
 attempt emits an ``rpc`` span (start, end, outcome, attempt) plus
 ``net.*`` counters and a latency histogram; when inactive each hook is a
 single ``is not None`` check.
+
+Fault injection: a :class:`FaultSurface` installed by
+:class:`repro.faults.FaultInjector` adds burst loss, a latency
+multiplier, and receiver-side corruption (a corrupted message is
+rejected at arrival, like a checksum failure, and dropped with reason
+``"corrupt"``).  With no plan active the surface is ``None`` and every
+hook is one pointer check.  Direct mutation of the fault surface or the
+partition map outside :mod:`repro.faults` is flagged by lint rule
+FLT001 — benches and tests go through a
+:class:`~repro.faults.FaultPlan`.
+
+The transport also keeps exact flow accounting — every message leg is
+``sent`` and then exactly one of ``delivered`` or ``dropped`` (send-time
+loss, or arrival-time loss/offline/partition/corrupt), with the
+remainder ``in_flight`` — which the chaos invariant harness checks
+continuously (``sent == delivered + dropped + in_flight``).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Iterable, List, Optional
+from typing import Any, Dict, Generator, Iterable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; draws stay stream-derived
+    import random  # repro: noqa[DET001]
 
 from repro.errors import (
     NetworkError,
@@ -39,9 +58,55 @@ from repro.sim.engine import AnyOf, Signal, Simulator, Timeout
 from repro.sim.monitor import Monitor
 from repro.sim.rng import RngStreams
 
-__all__ = ["Network", "DEFAULT_MESSAGE_BYTES"]
+__all__ = ["FaultSurface", "Network", "DEFAULT_MESSAGE_BYTES"]
 
 DEFAULT_MESSAGE_BYTES = 512
+
+
+class FaultSurface:
+    """Active transport-level fault parameters.
+
+    One immutable-by-convention bundle installed on a :class:`Network`
+    by :class:`repro.faults.FaultInjector` while at least one
+    ``DropBurst`` / ``LatencySpike`` / ``Corrupt`` window is open, and
+    cleared back to ``None`` when the last window closes.  Draws come
+    from dedicated named RNG streams (``faults.drop`` /
+    ``faults.corrupt``) so enabling a fault window never perturbs the
+    base ``net.loss`` stream.
+    """
+
+    __slots__ = ("drop_prob", "latency_factor", "corrupt_prob",
+                 "drop_rng", "corrupt_rng")
+
+    def __init__(
+        self,
+        drop_prob: float,
+        latency_factor: float,
+        corrupt_prob: float,
+        drop_rng: "random.Random",
+        corrupt_rng: "random.Random",
+    ):
+        if not 0 <= drop_prob < 1:
+            raise NetworkError(f"drop_prob must be in [0, 1): {drop_prob}")
+        if not 0 <= corrupt_prob < 1:
+            raise NetworkError(
+                f"corrupt_prob must be in [0, 1): {corrupt_prob}"
+            )
+        if latency_factor <= 0:
+            raise NetworkError(
+                f"latency_factor must be positive: {latency_factor}"
+            )
+        self.drop_prob = drop_prob
+        self.latency_factor = latency_factor
+        self.corrupt_prob = corrupt_prob
+        self.drop_rng = drop_rng
+        self.corrupt_rng = corrupt_rng
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultSurface(drop={self.drop_prob},"
+            f" latency_x={self.latency_factor}, corrupt={self.corrupt_prob})"
+        )
 
 
 class _RpcFault:
@@ -89,6 +154,15 @@ class Network:
         self._nodes: Dict[str, Node] = {}
         self._loss_rng = streams.stream("net.loss")
         self._partition: Optional[Dict[str, int]] = None
+        # Fault surface: None unless a FaultPlan window is active
+        # (installed only by repro.faults.FaultInjector; FLT001).
+        self._faults: Optional[FaultSurface] = None
+        # Flow accounting: sent == delivered + dropped + in_flight at
+        # every instant (the chaos conservation invariant).
+        self._flow_sent = 0
+        self._flow_delivered = 0
+        self._flow_dropped = 0
+        self._flow_in_flight = 0
 
     # -- registry ----------------------------------------------------------
 
@@ -146,26 +220,52 @@ class Network:
         src, dst = self.node(src_id), self.node(dst_id)
         self.monitor.counters.increment("messages_sent")
         self.monitor.counters.increment(f"bytes_sent.{src_id}", size_bytes)
+        self._flow_sent += 1
         self._msg_event("msg_send", src_id, dst_id, method, size_bytes)
-        if self._dropped():
+        # Loss/latency fault checks inlined (not via _dropped()/_delay()):
+        # this is the hottest path in the library and the quiet-plan cost
+        # budget is one pointer check per hook, not a method call.
+        faults = self._faults
+        if (self.loss_rate > 0
+                and self._loss_rng.random() < self.loss_rate) or (
+                faults is not None and faults.drop_prob > 0
+                and faults.drop_rng.random() < faults.drop_prob):
             self.monitor.counters.increment("messages_lost")
+            self._flow_dropped += 1
             self._msg_event("msg_drop", src_id, dst_id, method, size_bytes,
                             reason="loss")
             return
         delay = self.latency.delay(src, dst, size_bytes)
+        if faults is not None and faults.latency_factor != 1.0:
+            delay *= faults.latency_factor
+        self._flow_in_flight += 1
 
         def deliver() -> None:
+            self._flow_in_flight -= 1
             if not dst.online:
                 self.monitor.counters.increment("messages_to_offline")
+                self._flow_dropped += 1
                 self._msg_event("msg_drop", src_id, dst_id, method,
                                 size_bytes, reason="offline")
                 return
             if not self.can_reach(src_id, dst_id):
                 self.monitor.counters.increment("messages_partitioned")
+                self._flow_dropped += 1
                 self._msg_event("msg_drop", src_id, dst_id, method,
                                 size_bytes, reason="partition")
                 return
+            arrival_faults = self._faults
+            if (arrival_faults is not None
+                    and arrival_faults.corrupt_prob > 0
+                    and arrival_faults.corrupt_rng.random()
+                    < arrival_faults.corrupt_prob):
+                self.monitor.counters.increment("messages_corrupted")
+                self._flow_dropped += 1
+                self._msg_event("msg_drop", src_id, dst_id, method,
+                                size_bytes, reason="corrupt")
+                return
             self.monitor.counters.increment("messages_delivered")
+            self._flow_delivered += 1
             self._msg_event("msg_deliver", src_id, dst_id, method, size_bytes)
             try:
                 result = dst.dispatch(method, payload, src_id)
@@ -261,10 +361,18 @@ class Network:
         start = self.sim.now
         done: Signal = self.sim.signal(f"rpc:{src_id}->{dst_id}:{method}")
 
-        if not self._dropped():
+        self._flow_sent += 1
+        faults = self._faults
+        if not ((self.loss_rate > 0
+                 and self._loss_rng.random() < self.loss_rate) or (
+                faults is not None and faults.drop_prob > 0
+                and faults.drop_rng.random() < faults.drop_prob)):
             self._msg_event("msg_send", src_id, dst_id, method, size_bytes,
                             leg="rpc_request")
             request_delay = self.latency.delay(src, dst, size_bytes)
+            if faults is not None and faults.latency_factor != 1.0:
+                request_delay *= faults.latency_factor
+            self._flow_in_flight += 1
             self.sim.schedule(
                 request_delay,
                 self._rpc_arrive,
@@ -277,6 +385,7 @@ class Network:
             )
         else:
             self.monitor.counters.increment("messages_lost")
+            self._flow_dropped += 1
             self._msg_event("msg_drop", src_id, dst_id, method, size_bytes,
                             reason="loss", leg="rpc_request")
 
@@ -329,12 +438,24 @@ class Network:
         response_bytes: int,
         done: Signal,
     ) -> None:
+        self._flow_in_flight -= 1
         if not dst.online:
             self.monitor.counters.increment("messages_to_offline")
+            self._flow_dropped += 1
             return  # caller times out
         if not self.can_reach(src.node_id, dst.node_id):
             self.monitor.counters.increment("messages_partitioned")
+            self._flow_dropped += 1
             return  # caller times out
+        faults = self._faults
+        if (faults is not None and faults.corrupt_prob > 0
+                and faults.corrupt_rng.random() < faults.corrupt_prob):
+            self.monitor.counters.increment("messages_corrupted")
+            self._flow_dropped += 1
+            self._msg_event("msg_drop", src.node_id, dst.node_id, method,
+                            0, reason="corrupt", leg="rpc_request")
+            return  # caller times out
+        self._flow_delivered += 1
         try:
             result = dst.dispatch(method, payload, src.node_id)
         except ReproError as exc:
@@ -359,28 +480,52 @@ class Network:
         if not dst.online:
             return  # server died before responding
         self.monitor.counters.increment(f"bytes_sent.{dst.node_id}", response_bytes)
-        if self._dropped():
+        self._flow_sent += 1
+        faults = self._faults
+        if (self.loss_rate > 0
+                and self._loss_rng.random() < self.loss_rate) or (
+                faults is not None and faults.drop_prob > 0
+                and faults.drop_rng.random() < faults.drop_prob):
             self.monitor.counters.increment("messages_lost")
+            self._flow_dropped += 1
             self._msg_event("msg_drop", dst.node_id, src.node_id, "response",
                             response_bytes, reason="loss", leg="rpc_response")
             return
         self._msg_event("msg_send", dst.node_id, src.node_id, "response",
                         response_bytes, leg="rpc_response")
         delay = self.latency.delay(dst, src, response_bytes)
+        if faults is not None and faults.latency_factor != 1.0:
+            delay *= faults.latency_factor
+        self._flow_in_flight += 1
 
         def deliver() -> None:
+            self._flow_in_flight -= 1
             if not src.online:
                 self.monitor.counters.increment("messages_to_offline")
+                self._flow_dropped += 1
                 self._msg_event("msg_drop", dst.node_id, src.node_id,
                                 "response", response_bytes, reason="offline",
                                 leg="rpc_response")
                 return
             if not self.can_reach(dst.node_id, src.node_id):
                 self.monitor.counters.increment("messages_partitioned")
+                self._flow_dropped += 1
                 self._msg_event("msg_drop", dst.node_id, src.node_id,
                                 "response", response_bytes,
                                 reason="partition", leg="rpc_response")
                 return
+            arrival_faults = self._faults
+            if (arrival_faults is not None
+                    and arrival_faults.corrupt_prob > 0
+                    and arrival_faults.corrupt_rng.random()
+                    < arrival_faults.corrupt_prob):
+                self.monitor.counters.increment("messages_corrupted")
+                self._flow_dropped += 1
+                self._msg_event("msg_drop", dst.node_id, src.node_id,
+                                "response", response_bytes,
+                                reason="corrupt", leg="rpc_response")
+                return
+            self._flow_delivered += 1
             self._msg_event("msg_deliver", dst.node_id, src.node_id,
                             "response", response_bytes, leg="rpc_response")
             if not done.fired:
@@ -460,8 +605,66 @@ class Network:
                 self._metrics.inc("net.messages_dropped")
                 self._metrics.inc(f"net.messages_dropped.{reason}")
 
+    # The three fault predicates below are the reference implementations
+    # (exercised directly by the injector tests).  The message hot paths
+    # (send / _rpc_attempt / _rpc_arrive / _rpc_respond) inline the same
+    # logic — identical draw order — to keep the quiet-plan cost at one
+    # pointer check per hook; keep both in sync.
+
     def _dropped(self) -> bool:
-        return self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate
+        if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
+            return True
+        faults = self._faults
+        return (
+            faults is not None
+            and faults.drop_prob > 0
+            and faults.drop_rng.random() < faults.drop_prob
+        )
+
+    def _corrupted(self) -> bool:
+        """Receiver-side checksum rejection while a Corrupt window is open."""
+        faults = self._faults
+        return (
+            faults is not None
+            and faults.corrupt_prob > 0
+            and faults.corrupt_rng.random() < faults.corrupt_prob
+        )
+
+    def _delay(self, src: Node, dst: Node, size_bytes: int) -> float:
+        delay = self.latency.delay(src, dst, size_bytes)
+        faults = self._faults
+        if faults is not None and faults.latency_factor != 1.0:
+            delay *= faults.latency_factor
+        return delay
+
+    def _set_fault_surface(self, surface: Optional[FaultSurface]) -> None:
+        """Install (or clear, with ``None``) transport fault injection.
+
+        Internal API for :class:`repro.faults.FaultInjector`; every
+        other caller must express faults as a
+        :class:`~repro.faults.FaultPlan` (lint rule FLT001).
+        """
+        self._faults = surface
+
+    @property
+    def fault_surface(self) -> Optional[FaultSurface]:
+        """The active fault surface (``None`` when no plan window is open)."""
+        return self._faults
+
+    def flow_snapshot(self) -> Dict[str, int]:
+        """Exact per-leg message accounting (conservation invariant).
+
+        Counts every transport leg — one-way sends, RPC requests, RPC
+        responses.  At every instant
+        ``sent == delivered + dropped + in_flight``; a run that drains
+        its queue ends with ``in_flight == 0``.
+        """
+        return {
+            "sent": self._flow_sent,
+            "delivered": self._flow_delivered,
+            "dropped": self._flow_dropped,
+            "in_flight": self._flow_in_flight,
+        }
 
     def bytes_sent(self, node_id: str) -> int:
         return self.monitor.counters.get(f"bytes_sent.{node_id}")

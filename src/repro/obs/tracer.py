@@ -31,6 +31,12 @@ kind                 emitted by
 ``msg_drop``         loss / offline / partition drops (``reason`` field)
 ``rpc``              one completed RPC attempt (latency, outcome, retry)
 ``sweep_task``       one sweep grid point (wall time, cache status)
+``fault_injected``   :class:`repro.faults.FaultInjector` opening a fault
+                     (partition/crash/window start)
+``fault_healed``     the matching heal/restart/window end
+``invariant_checked`` one :class:`repro.faults.InvariantHarness` sweep
+                     (``checked``/``violated`` counts)
+``invariant_violated`` a single invariant failure (``name``, ``message``)
 ==================== =====================================================
 """
 

@@ -520,6 +520,12 @@ class Process:
 
     def _resume(self, value: Any) -> None:
         if not self._alive:
+            # A wake-up reached a finished process: every such resume is
+            # a subscription the engine failed to tear down (the
+            # double-resume leak).  Counted so the chaos invariant
+            # harness (repro.faults.invariants.no_double_resume) can
+            # assert it stays zero.
+            self.sim._stale_resumes += 1
             return
         # Leave the current wait: detach its subscription so it cannot
         # deliver a second, stale resume later.
@@ -661,6 +667,7 @@ class Simulator:
         self._running = False
         self._processed = 0
         self._tombstones = 0  # cancelled events still sitting in the heap
+        self._stale_resumes = 0  # wake-ups delivered to dead processes
 
     @property
     def tracer(self) -> Optional[Tracer]:
@@ -679,6 +686,17 @@ class Simulator:
     def pending_events(self) -> int:
         """Live events still queued (cancelled tombstones excluded)."""
         return len(self._queue) - self._tombstones
+
+    @property
+    def stale_resumes(self) -> int:
+        """Resumes delivered to already-finished processes.
+
+        Zero in a hygienic run: every wait's subscription is torn down
+        when the process leaves it, so nothing should ever wake the
+        dead.  A non-zero count means a subscription leaked — the
+        condition the chaos harness checks continuously.
+        """
+        return self._stale_resumes
 
     def schedule(
         self, delay: float, callback: Callable, *args: Any

@@ -1,0 +1,197 @@
+"""Property-based chaos testing: random bounded fault plans.
+
+Hypothesis generates small-but-adversarial ``FaultPlan``s (overlapping
+windows, unhealed partitions, crashes with and without restarts) and we
+assert the two safety invariants every scenario in this repo relies on:
+
+* **message conservation** — every sent message is delivered, dropped,
+  or still in flight; nothing is double-counted or lost by the
+  accounting itself, no matter which faults fire.
+* **no double resume** — no combination of crash/heal/window events
+  causes a process to be resumed twice (``sim.stale_resumes == 0``).
+
+plus the reproducibility contract: the same ``(plan, seed)`` pair must
+produce a byte-identical trace.
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    Corrupt,
+    Crash,
+    DropBurst,
+    FaultInjector,
+    FaultPlan,
+    InvariantHarness,
+    LatencySpike,
+    Partition,
+    message_conservation,
+    no_double_resume,
+)
+from repro.net import ConstantLatency, Network
+from repro.obs import Tracer, observe
+from repro.sim import RngStreams, Simulator
+
+HORIZON = 100.0
+NODES = ("n0", "n1", "n2", "n3")
+
+# Keep CI runs bounded; run the full budget locally.  Applied per-test
+# (not via load_profile, which would leak into other modules' defaults).
+_MAX_EXAMPLES = 40 if os.environ.get("CI") else 200
+
+chaos_settings = settings(
+    max_examples=_MAX_EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# --------------------------------------------------------------------------
+# Strategies: bounded fault plans over the fixed 4-node topology.
+# --------------------------------------------------------------------------
+
+def times():
+    return st.floats(min_value=1.0, max_value=HORIZON - 10.0,
+                     allow_nan=False, allow_infinity=False)
+
+
+def windows():
+    return st.tuples(times(), times()).map(sorted).filter(
+        lambda w: w[1] > w[0] + 0.5
+    ).map(tuple)
+
+
+def probs():
+    return st.floats(min_value=0.05, max_value=0.95,
+                     allow_nan=False, allow_infinity=False)
+
+
+node_ids = st.sampled_from(NODES)
+
+
+@st.composite
+def partitions(draw):
+    at = draw(times())
+    heal = draw(st.one_of(
+        st.none(),
+        st.floats(min_value=at + 1.0, max_value=HORIZON,
+                  allow_nan=False, allow_infinity=False),
+    ))
+    cut = draw(st.integers(min_value=1, max_value=len(NODES) - 1))
+    return Partition((NODES[:cut], NODES[cut:]), at=at, heal_at=heal)
+
+
+@st.composite
+def crashes(draw):
+    at = draw(times())
+    restart = draw(st.one_of(
+        st.none(),
+        st.floats(min_value=at + 1.0, max_value=HORIZON,
+                  allow_nan=False, allow_infinity=False),
+    ))
+    return Crash(draw(node_ids), at=at, restart_at=restart)
+
+
+def drop_bursts():
+    return st.builds(DropBurst, window=windows(), prob=probs())
+
+
+def corrupts():
+    return st.builds(Corrupt, window=windows(), prob=probs())
+
+
+def latency_spikes():
+    return st.builds(
+        LatencySpike, window=windows(),
+        factor=st.floats(min_value=1.1, max_value=10.0,
+                         allow_nan=False, allow_infinity=False),
+    )
+
+
+def fault_plans():
+    event = st.one_of(partitions(), crashes(), drop_bursts(),
+                      corrupts(), latency_spikes())
+    return st.lists(event, min_size=0, max_size=6).map(
+        lambda evs: FaultPlan(evs, name="prop")
+    )
+
+
+# --------------------------------------------------------------------------
+# A small generic workload: every node pings every other node on a
+# staggered clock for the whole horizon.
+# --------------------------------------------------------------------------
+
+def run_workload(plan, seed, tracer=None):
+    with observe(tracer=tracer):
+        return _run_workload(plan, seed)
+
+
+def _run_workload(plan, seed):
+    sim = Simulator()
+    streams = RngStreams(seed)
+    network = Network(sim, streams, latency=ConstantLatency(0.05),
+                      loss_rate=0.05)
+    for node_id in NODES:
+        node = network.create_node(node_id)
+        node.register_handler("ping", lambda n, payload, sender: None)
+
+    for i, src in enumerate(NODES):
+        for j, dst in enumerate(NODES):
+            if src == dst:
+                continue
+            t = 1.0 + 0.7 * i + 0.3 * j
+            while t < HORIZON - 5.0:
+                sim.schedule_at(t, network.send, src, dst, "ping", t)
+                t += 4.0
+
+    injector = FaultInjector(sim, network, plan, streams)
+    harness = InvariantHarness(sim, network, injector, interval=5.0)
+    harness.add(message_conservation())
+    harness.add(no_double_resume())
+    injector.arm()
+    harness.start()
+    sim.run(until=HORIZON + 60.0)  # slack so in-flight messages settle
+    return sim, network, harness.finish()
+
+
+@chaos_settings
+@given(plan=fault_plans(), seed=st.integers(min_value=0, max_value=2**20))
+def test_invariants_hold_under_random_faults(plan, seed):
+    sim, network, violations = run_workload(plan, seed)
+    assert violations == []
+    flow = network.flow_snapshot()
+    assert flow["in_flight"] == 0
+    assert flow["delivered"] + flow["dropped"] == flow["sent"]
+    assert sim.stale_resumes == 0
+
+
+@chaos_settings
+@given(plan=fault_plans())
+def test_invariants_hold_across_seeds(plan):
+    for seed in (1, 2, 3):
+        _, _, violations = run_workload(plan, seed)
+        assert violations == []
+
+
+@settings(parent=chaos_settings, max_examples=max(10, _MAX_EXAMPLES // 4))
+@given(plan=fault_plans(), seed=st.integers(min_value=0, max_value=2**20))
+def test_same_plan_and_seed_reproduce_identical_traces(plan, seed):
+    traces = []
+    for _ in range(2):
+        tracer = Tracer()
+        run_workload(plan, seed, tracer=tracer)
+        traces.append(tracer.to_jsonl())
+    assert traces[0] == traces[1]
+
+
+@chaos_settings
+@given(seed=st.integers(min_value=0, max_value=2**20))
+def test_quiet_plan_is_fault_free(seed):
+    """The empty plan injects nothing and heals nothing."""
+    tracer = Tracer()
+    run_workload(FaultPlan([], name="quiet"), seed, tracer=tracer)
+    assert tracer.count("fault_injected") == 0
+    assert tracer.count("fault_healed") == 0

@@ -1,0 +1,114 @@
+"""Golden chaos regressions: pinned scenario outcomes under fixed faults.
+
+Every number here is a seed-pinned behavioral golden.  If a change to the
+simulator, transport, or fault injector shifts one of these, that change
+altered observable chaos behavior and the golden must be re-derived
+deliberately (run the matching ``python -m repro chaos`` command and
+inspect the diff) — never adjusted to make the suite pass.
+"""
+
+import pytest
+
+from repro.faults import SCENARIOS, preset_plan, run_chaos
+
+
+def run(experiment, preset, seed):
+    return run_chaos(experiment, preset_plan(preset), seed)
+
+
+class TestE4ServerKill:
+    """Federation survives one permanent and one transient server loss."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run("E4", "server-kill", seed=7)
+
+    def test_availability_pinned(self, report):
+        assert report["result"]["availability"] == 1.0
+        assert report["result"]["reads_ok"] == 12
+        assert report["result"]["reads_failed"] == 0
+        assert report["result"]["posted"] == 6
+
+    def test_flow_accounting_pinned(self, report):
+        assert report["flow"] == {
+            "sent": 907, "delivered": 766, "dropped": 141, "in_flight": 0,
+        }
+
+    def test_faults_and_invariants(self, report):
+        assert report["faults"] == {"injected": 2, "healed": 1}
+        assert report["invariants"]["violated"] == 0
+        assert report["violations"] == []
+
+
+class TestE5ChurnStorm:
+    """Device pings through drops, latency spikes, corruption, crashes."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run("E5", "churn-storm", seed=3)
+
+    def test_ping_success_pinned(self, report):
+        assert report["result"]["ping_attempts"] == 415
+        assert report["result"]["ping_ok"] == 385
+        assert report["result"]["ping_success_rate"] == 0.927710843373494
+
+    def test_clean_invariants(self, report):
+        assert report["violations"] == []
+        assert report["flow"]["in_flight"] == 0
+
+
+class TestE6RegistrationPartition:
+    """Registration retries across a healed CA partition."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run("E6", "registration-partition", seed=2)
+
+    def test_registration_latency_pinned(self, report):
+        assert report["result"]["registered"] is True
+        assert report["result"]["attempts"] == 4
+        assert report["result"]["latency"] == pytest.approx(90.1, abs=0.01)
+
+    def test_clean_invariants(self, report):
+        assert report["violations"] == []
+
+    def test_unhealed_partition_trips_liveness(self):
+        report = run("E6", "registration-partition-noheal", seed=2)
+        assert report["result"]["registered"] is False
+        assert report["result"]["attempts"] == 7
+        names = [v["name"] for v in report["violations"]]
+        assert names == ["registration_completes"]
+        assert report["violations"][0]["at"] == 150.0
+
+
+class TestE9DeviceFlap:
+    """Replicated blob storage heals through rolling provider crashes."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run("E9", "device-flap", seed=2)
+
+    def test_repair_and_availability_pinned(self, report):
+        assert report["result"]["repair_bytes"] == 4096
+        assert report["result"]["probe_attempts"] == 11
+        assert report["result"]["probe_ok"] == 11
+        assert report["result"]["availability"] == 1.0
+
+    def test_clean_invariants(self, report):
+        assert report["violations"] == []
+
+
+class TestScenarioRegistry:
+    def test_registry_contents(self):
+        assert sorted(SCENARIOS) == ["E4", "E5", "E6", "E9"]
+
+    def test_unknown_experiment_rejected(self):
+        from repro.errors import FaultError
+
+        with pytest.raises(FaultError):
+            run_chaos("E1", preset_plan("quiet"), seed=1)
+
+    def test_reports_are_deterministic(self):
+        first = run("E6", "registration-partition", seed=2)
+        second = run("E6", "registration-partition", seed=2)
+        assert first == second

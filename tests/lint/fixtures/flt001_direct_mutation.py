@@ -1,0 +1,7 @@
+"""FLT001 positive fixture: poking transport fault state directly."""
+
+
+def sabotage(network):
+    network._partition = {"a": 0, "b": 1}
+    network.loss_rate = 0.5
+    network._set_fault_surface(None)

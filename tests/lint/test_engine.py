@@ -39,6 +39,7 @@ class TestFixtures:
         found_rules = {f.rule_id for f in findings}
         assert found_rules == {
             "DET001", "DET002", "DET003", "PAR001", "ERR001", "API001",
+            "FLT001",
         }
 
     def test_findings_sorted_by_path_then_line(self):

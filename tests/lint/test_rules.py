@@ -248,3 +248,63 @@ class TestAPI001:
                 return 1
         """
         assert rule_ids(src) == []
+
+
+class TestFLT001:
+    def test_partition_assignment_flagged(self):
+        src = """
+        def sabotage(network):
+            network._partition = {"a": 0, "b": 1}
+        """
+        assert rule_ids(src) == ["FLT001"]
+
+    def test_loss_rate_mutation_flagged(self):
+        src = """
+        def degrade(network):
+            network.loss_rate = 0.5
+        """
+        assert rule_ids(src) == ["FLT001"]
+
+    def test_aug_and_annotated_assignments_flagged(self):
+        assert "FLT001" in rule_ids("def f(n):\n    n.drop_prob += 0.1\n")
+        assert "FLT001" in rule_ids(
+            "def f(n):\n    n.loss_rate: float = 0.2\n"
+        )
+
+    def test_set_fault_surface_call_flagged(self):
+        src = """
+        def install(network, surface):
+            network._set_fault_surface(surface)
+        """
+        assert rule_ids(src) == ["FLT001"]
+
+    def test_faults_package_exempt(self):
+        src = """
+        def install(network, surface):
+            network._set_fault_surface(surface)
+        """
+        assert rule_ids(src, path="src/repro/faults/injector.py") == []
+
+    def test_transport_module_exempt(self):
+        src = """
+        class Network:
+            def __init__(self):
+                self._partition = None
+                self.loss_rate = 0.0
+        """
+        assert rule_ids(src, path="src/repro/net/transport.py") == []
+
+    def test_public_partition_api_clean(self):
+        src = """
+        def split(network):
+            network.partition([["a"], ["b"]])
+            network.heal()
+        """
+        assert rule_ids(src) == []
+
+    def test_constructor_kwarg_clean(self):
+        src = """
+        def build(sim, streams, Network):
+            return Network(sim, streams, loss_rate=0.02)
+        """
+        assert rule_ids(src) == []

@@ -97,6 +97,98 @@ class TestChurnProcess:
         assert process.profile is SMARTPHONE_PROFILE
 
 
+class TestCrashRestore:
+    """Injected crashes suspend the renewal process (repro.faults hook)."""
+
+    def _process(self, seed=21, mean_uptime=5.0, mean_downtime=5.0):
+        sim = Simulator()
+        streams = RngStreams(seed)
+        node = Node("n")
+        [process] = attach_churn(
+            sim, streams, [node],
+            ChurnProfile(mean_uptime=mean_uptime, mean_downtime=mean_downtime),
+        )
+        return sim, node, process
+
+    def test_crash_holds_node_down_despite_churn(self):
+        sim, node, process = self._process()
+        sim.run(until=10.0)
+        process.crash()
+        assert process.crashed and not node.online
+        # Churn would flip a 5s-uptime node many times in 200s; a
+        # crashed node must never come back on its own.
+        sim.run(until=210.0)
+        assert not node.online
+
+    def test_restore_resumes_renewal_clock(self):
+        sim, node, process = self._process()
+        sim.run(until=10.0)
+        process.crash()
+        sim.run(until=50.0)
+        process.restore()
+        assert not process.crashed and node.online
+        # The renewal process is live again: with a 5 s mean uptime the
+        # node flips off at some point after restore.
+        states = []
+        for t in range(51, 251):
+            sim.run(until=float(t))
+            states.append(node.online)
+        assert False in states
+
+    def test_crash_is_idempotent(self):
+        sim, node, process = self._process()
+        sim.run(until=3.0)
+        process.crash()
+        process.crash()
+        assert process.crashed
+        process.restore()
+        process.restore()
+        assert not process.crashed
+
+    def test_restore_without_crash_is_noop(self):
+        sim, node, process = self._process()
+        sim.run(until=3.0)
+        was_online = node.online
+        process.restore()
+        assert node.online == was_online
+
+    def test_crash_does_not_consume_rng_draws(self):
+        """Crash/restore must not shift the churn RNG stream."""
+
+        def flips_after(crash):
+            sim, node, process = self._process(seed=33)
+            if crash:
+                sim.schedule_at(40.0, process.crash)
+                sim.schedule_at(60.0, process.restore)
+            sim.run(until=40.0)
+            # Record the flip schedule well after the crash window.
+            sim.run(until=500.0)
+            return node.uptime_fraction(500.0)
+
+        # Not equal (the crash removes 20 s of uptime) but both runs
+        # must complete deterministically; equality of draws is pinned
+        # by the injector-level RNG isolation test.  Here we pin that
+        # crash() during a run neither raises nor deadlocks the clock.
+        assert 0.0 < flips_after(False) <= 1.0
+        assert 0.0 < flips_after(True) <= 1.0
+
+    def test_restore_respects_departure(self):
+        sim = Simulator()
+        streams = RngStreams(12)
+        profile = ChurnProfile(
+            mean_uptime=10.0, mean_downtime=10.0, attrition=0.9
+        )
+        nodes = [Node(f"n{i}") for i in range(20)]
+        processes = attach_churn(sim, streams, nodes, profile)
+        sim.run(until=500.0)
+        departed = [p for p in processes if p.departed]
+        assert departed  # with attrition=0.9 some node left
+        process = departed[0]
+        process.crash()
+        process.restore()
+        assert not process.node.online  # departure wins over restore
+
+
 class TestTopologies:
     def test_star_shape(self):
         g = star("hub", [f"u{i}" for i in range(5)])
