@@ -1,0 +1,83 @@
+"""repro.bench: deterministic, tracked performance benchmarks.
+
+The ROADMAP's north star — a reproduction that runs as fast as the
+hardware allows — needs a perf trajectory, not anecdotes.  This package
+turns every speed claim into a checked artifact:
+
+* :mod:`repro.bench.registry` — named micro benchmarks (event loop,
+  transport legs, RPC round-trips, RNG streams, histograms) and macro
+  workloads (E4/E5/E6 experiment runs, the quiet-fault-plan overhead
+  pair, the SweepRunner cold-vs-warm cache replay).
+* :mod:`repro.bench.harness` — best-of-N wall clock plus exact,
+  machine-independent **work counters** pulled from :mod:`repro.obs`
+  metrics, so regressions are detectable even on noisy CI hosts.
+* :mod:`repro.bench.report` — a versioned JSON schema
+  (:func:`validate_bench_report`) for the committed ``BENCH_<n>.json``
+  baselines.
+* :mod:`repro.bench.compare` — tolerance-banded wall-clock comparison
+  with *exact* work-counter matching.
+* :mod:`repro.bench.cli` — ``python -m repro bench`` with lint-style
+  exit codes (0 ok, 1 regression, 2 usage).
+
+Benchmark bodies never read the host clock (lint rule BEN001); only the
+harness times.  See ``docs/BENCHMARKS.md`` for the catalog, the report
+schema, and how to refresh the committed baseline.
+"""
+
+from repro.bench.compare import (
+    DEFAULT_ABSOLUTE_FLOOR_S,
+    DEFAULT_TOLERANCE,
+    CompareFinding,
+    compare_reports,
+    render_compare_human,
+)
+from repro.bench.harness import (
+    DEFAULT_REPETITIONS,
+    BenchResult,
+    run_benchmark,
+    run_suite,
+    work_counters,
+)
+from repro.bench.registry import (
+    SUITES,
+    Benchmark,
+    all_benchmarks,
+    get_benchmark,
+    register_benchmark,
+    select_benchmarks,
+)
+from repro.bench.report import (
+    BENCH_SCHEMA_VERSION,
+    build_report,
+    render_bench_human,
+    render_bench_json,
+    validate_bench_report,
+)
+
+# Importing the workload modules registers their benchmarks.
+from repro.bench import macro  # noqa: F401
+from repro.bench import micro  # noqa: F401
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_ABSOLUTE_FLOOR_S",
+    "DEFAULT_REPETITIONS",
+    "DEFAULT_TOLERANCE",
+    "Benchmark",
+    "BenchResult",
+    "CompareFinding",
+    "SUITES",
+    "all_benchmarks",
+    "build_report",
+    "compare_reports",
+    "get_benchmark",
+    "register_benchmark",
+    "render_bench_human",
+    "render_bench_json",
+    "render_compare_human",
+    "run_benchmark",
+    "run_suite",
+    "select_benchmarks",
+    "validate_bench_report",
+    "work_counters",
+]

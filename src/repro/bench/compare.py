@@ -1,0 +1,153 @@
+"""Tolerance-based comparison of two benchmark reports.
+
+The comparison embodies the harness's two-channel design:
+
+* **Work counters compare exactly.**  Any drift — a counter appearing,
+  disappearing, or changing value — is a regression finding, because
+  the counters are deterministic functions of the workload.  More
+  events fired or cache hits lost means the *algorithm* changed, and no
+  amount of timing noise can explain it away.
+* **Wall clock compares within a band.**  A benchmark regresses only
+  when ``new_best > old_best * (1 + tolerance) + absolute_floor_s``.
+  The relative tolerance absorbs machine-speed drift; the absolute
+  floor keeps microsecond-scale benchmarks from tripping on scheduler
+  jitter.  Improvements are reported informationally, never as
+  failures.
+* **Coverage must not shrink.**  A benchmark present in the baseline
+  but missing from the new report is a finding (a deleted benchmark is
+  how a regression hides); new benchmarks are fine.
+* **Determinism must hold.**  A new-report benchmark whose repetitions
+  disagreed on work counters is a finding regardless of timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+__all__ = [
+    "DEFAULT_ABSOLUTE_FLOOR_S",
+    "DEFAULT_TOLERANCE",
+    "CompareFinding",
+    "compare_reports",
+    "render_compare_human",
+]
+
+#: Allowed relative wall-clock growth before a benchmark counts as a
+#: regression (0.25 == 25% slower than baseline).
+DEFAULT_TOLERANCE = 0.25
+
+#: Absolute slack added on top of the relative band, so sub-millisecond
+#: benchmarks do not regress on scheduler jitter alone.
+DEFAULT_ABSOLUTE_FLOOR_S = 0.025
+
+
+@dataclass(frozen=True)
+class CompareFinding:
+    """One comparison outcome; ``regression`` says whether it fails CI."""
+
+    benchmark: str
+    kind: str  # work_drift | wall_clock | missing | nondeterministic | improved
+    message: str
+    regression: bool
+
+
+def _work_drift(
+    name: str, old_work: Dict[str, Any], new_work: Dict[str, Any]
+) -> List[CompareFinding]:
+    findings: List[CompareFinding] = []
+    for counter in sorted(set(old_work) | set(new_work)):
+        old_value = old_work.get(counter)
+        new_value = new_work.get(counter)
+        if old_value == new_value:
+            continue
+        findings.append(CompareFinding(
+            benchmark=name,
+            kind="work_drift",
+            message=(
+                f"work counter {counter!r} drifted:"
+                f" {old_value!r} -> {new_value!r}"
+                " (work counters must match exactly)"
+            ),
+            regression=True,
+        ))
+    return findings
+
+
+def compare_reports(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    absolute_floor_s: float = DEFAULT_ABSOLUTE_FLOOR_S,
+) -> List[CompareFinding]:
+    """Compare ``new`` against the ``old`` baseline report.
+
+    Returns findings ordered by benchmark name; a finding with
+    ``regression=True`` means the comparison fails (CLI exit 1).
+    """
+    old_by_name = {b["name"]: b for b in old.get("benchmarks", [])}
+    new_by_name = {b["name"]: b for b in new.get("benchmarks", [])}
+    findings: List[CompareFinding] = []
+    for name in sorted(old_by_name):
+        baseline = old_by_name[name]
+        candidate = new_by_name.get(name)
+        if candidate is None:
+            findings.append(CompareFinding(
+                benchmark=name,
+                kind="missing",
+                message="benchmark present in baseline but not in new"
+                        " report",
+                regression=True,
+            ))
+            continue
+        if not candidate.get("deterministic", True):
+            findings.append(CompareFinding(
+                benchmark=name,
+                kind="nondeterministic",
+                message="work counters differed between repetitions of"
+                        " the new run",
+                regression=True,
+            ))
+        findings.extend(_work_drift(
+            name, baseline.get("work", {}), candidate.get("work", {})
+        ))
+        old_best = float(baseline["best_s"])
+        new_best = float(candidate["best_s"])
+        limit = old_best * (1.0 + tolerance) + absolute_floor_s
+        if new_best > limit:
+            findings.append(CompareFinding(
+                benchmark=name,
+                kind="wall_clock",
+                message=(
+                    f"best wall clock regressed: {old_best:.6f}s ->"
+                    f" {new_best:.6f}s (limit {limit:.6f}s at"
+                    f" tolerance {tolerance:g} + floor"
+                    f" {absolute_floor_s:g}s)"
+                ),
+                regression=True,
+            ))
+        elif old_best > 0 and new_best < old_best * (1.0 - tolerance):
+            findings.append(CompareFinding(
+                benchmark=name,
+                kind="improved",
+                message=(
+                    f"best wall clock improved: {old_best:.6f}s ->"
+                    f" {new_best:.6f}s"
+                ),
+                regression=False,
+            ))
+    return findings
+
+
+def render_compare_human(findings: List[CompareFinding]) -> str:
+    """One line per finding; a PASS line when nothing regressed."""
+    regressions = [f for f in findings if f.regression]
+    lines = []
+    for finding in findings:
+        tag = "REGRESSION" if finding.regression else "note"
+        lines.append(f"  {tag:<10} {finding.benchmark}: {finding.message}")
+    lines.append(
+        f"compare: {len(regressions)} regression(s),"
+        f" {len(findings) - len(regressions)} note(s)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Micro benchmarks: tight loops over one library primitive each.
+
+Each body does a fixed, seed-derived amount of work against the
+primitive it names — the event loop, a transport leg, an RPC
+round-trip, a named RNG stream, the metrics histogram — and records
+work counters into the harness-supplied registry.  Sizes are chosen so
+a body lands in the low tens of milliseconds: long enough to time
+meaningfully, short enough that CI can afford repetitions.
+
+Per the BEN001 contract, nothing here reads the host clock; the harness
+(:mod:`repro.bench.harness`) does all timing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.bench.registry import register_benchmark
+from repro.net.node import Node
+from repro.net.transport import Network
+from repro.obs.metrics import Histogram, Metrics
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams, seeded_rng
+
+__all__ = [
+    "bench_engine_schedule_fire_cancel",
+    "bench_histogram_observe_merge",
+    "bench_rng_stream_draw",
+    "bench_rpc_roundtrip",
+    "bench_transport_send_deliver",
+]
+
+#: Loop sizes, fixed so work counters are identical everywhere.
+_ENGINE_EVENTS = 6000
+_SEND_MESSAGES = 1500
+_RPC_ROUNDS = 400
+_RNG_DRAWS_PER_STREAM = 20000
+_HIST_SHARDS = 6
+_HIST_OBSERVATIONS_PER_SHARD = 1500
+
+
+def _noop() -> None:
+    return None
+
+
+@register_benchmark(
+    "micro.engine.schedule_fire_cancel", "micro",
+    "schedule/cancel/fire a dense event queue through Simulator.run",
+)
+def bench_engine_schedule_fire_cancel(metrics: Metrics) -> None:
+    sim = Simulator(metrics=metrics)
+    events = [
+        sim.schedule(float(i % 50), _noop) for i in range(_ENGINE_EVENTS)
+    ]
+    # Cancel every third event: exercises tombstoning and drain.
+    for event in events[::3]:
+        event.cancel()
+    sim.run()
+
+
+@register_benchmark(
+    "micro.transport.send_deliver", "micro",
+    "one-way message legs (send -> deliver) across a two-node fabric",
+)
+def bench_transport_send_deliver(metrics: Metrics) -> None:
+    sim = Simulator(metrics=metrics)
+    network = Network(sim, RngStreams(1009))
+    network.create_node("src")
+    sink = network.create_node("dst")
+    sink.register_handler("ping", _return_payload)
+    for i in range(_SEND_MESSAGES):
+        network.send("src", "dst", "ping", payload=i)
+    sim.run()
+
+
+def _return_payload(node: Node, payload: Any, sender_id: str) -> Any:
+    return payload
+
+
+@register_benchmark(
+    "micro.transport.rpc_roundtrip", "micro",
+    "request/response RPC round-trips through AnyOf(response, timeout)",
+)
+def bench_rpc_roundtrip(metrics: Metrics) -> None:
+    sim = Simulator(metrics=metrics)
+    network = Network(sim, RngStreams(2003))
+    network.create_node("client")
+    server = network.create_node("server")
+    server.register_handler("echo", _return_payload)
+
+    def client(sim: Simulator, network: Network) -> Generator:
+        for i in range(_RPC_ROUNDS):
+            yield from network.rpc("client", "server", "echo", payload=i)
+
+    sim.run_process(client(sim, network), name="bench.rpc_client")
+
+
+@register_benchmark(
+    "micro.rng.stream_draw", "micro",
+    "named-RNG stream creation and uniform draws (RngStreams)",
+)
+def bench_rng_stream_draw(metrics: Metrics) -> None:
+    streams = RngStreams(3001)
+    total = 0.0
+    for name in ("alpha", "beta", "gamma", "delta"):
+        stream = streams.stream(f"bench.{name}")
+        draw = stream.random
+        for _ in range(_RNG_DRAWS_PER_STREAM):
+            total += draw()
+    metrics.inc("bench.rng_streams", 4)
+    metrics.inc("bench.rng_draws", 4 * _RNG_DRAWS_PER_STREAM)
+    # The sum is a pure function of the seeds; folding it into a counter
+    # (scaled to an int) lets compare() catch any drift in draw order.
+    metrics.inc("bench.rng_draw_checksum", int(total * 1e6))
+
+
+@register_benchmark(
+    "micro.obs.histogram_observe_merge", "micro",
+    "Histogram.observe across shards plus order-independent merge",
+)
+def bench_histogram_observe_merge(metrics: Metrics) -> None:
+    shards = []
+    observations = 0
+    for index in range(_HIST_SHARDS):
+        shard = Histogram()
+        rng = seeded_rng(4001, f"bench.hist.{index}")
+        for _ in range(_HIST_OBSERVATIONS_PER_SHARD):
+            shard.observe(rng.random() * 1000.0)
+        observations += _HIST_OBSERVATIONS_PER_SHARD
+        shards.append(shard)
+    merged = Histogram()
+    for shard in shards:
+        merged.merge(shard)
+    summary = merged.summary()
+    metrics.inc("bench.hist_observations", observations)
+    metrics.inc("bench.hist_merged_count", summary["count"])
+    metrics.inc("bench.hist_p99_checksum", int(summary["p99"] * 1e6))
+    if summary.get("merged_truncated"):
+        metrics.inc("bench.hist_merged_truncated")

@@ -1,0 +1,101 @@
+"""The benchmark registry: named, suite-tagged, deterministic workloads.
+
+A benchmark is a plain function ``fn(metrics)`` that performs a fixed
+amount of *simulated* work while recording into the supplied
+:class:`~repro.obs.metrics.Metrics` registry.  The contract every
+registered workload must honor:
+
+* **The body never times itself.**  Wall-clock measurement belongs to
+  :mod:`repro.bench.harness` exclusively; a body that calls ``time.*``
+  or ``perf_counter`` is flagged by lint rule BEN001.
+* **Work counters are deterministic.**  Two executions of the same body
+  must land byte-identical counter snapshots (events fired, messages
+  delivered, cache hits, ...), which is what lets CI detect *work*
+  regressions exactly even when wall-clock noise drowns out timing.
+* **Self-contained.**  Each run builds its world from fixed seeds via
+  :mod:`repro.sim.rng` and tears it down; nothing leaks between
+  repetitions.
+
+Workloads are registered at import time by :mod:`repro.bench.micro` and
+:mod:`repro.bench.macro` (imported from ``repro.bench.__init__``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import BenchError
+from repro.obs.metrics import Metrics
+
+__all__ = [
+    "SUITES",
+    "Benchmark",
+    "all_benchmarks",
+    "get_benchmark",
+    "register_benchmark",
+    "select_benchmarks",
+]
+
+#: The two benchmark suites: fast single-primitive loops and
+#: experiment-shaped end-to-end workloads.
+SUITES = ("micro", "macro")
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered workload."""
+
+    name: str
+    suite: str
+    description: str
+    fn: Callable[[Metrics], None]
+
+
+_REGISTRY: Dict[str, Benchmark] = {}
+
+
+def register_benchmark(
+    name: str, suite: str, description: str
+) -> Callable[[Callable[[Metrics], None]], Callable[[Metrics], None]]:
+    """Decorator registering ``fn(metrics)`` under ``name`` in ``suite``."""
+    if suite not in SUITES:
+        raise BenchError(f"unknown suite {suite!r}; known: {', '.join(SUITES)}")
+
+    def decorator(fn: Callable[[Metrics], None]) -> Callable[[Metrics], None]:
+        if name in _REGISTRY:
+            raise BenchError(f"duplicate benchmark name {name!r}")
+        _REGISTRY[name] = Benchmark(name, suite, description, fn)
+        return fn
+
+    return decorator
+
+
+def all_benchmarks() -> List[Benchmark]:
+    """Every registered benchmark, ordered by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look one benchmark up by exact name."""
+    bench = _REGISTRY.get(name)
+    if bench is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise BenchError(f"unknown benchmark {name!r}; known: {known}")
+    return bench
+
+
+def select_benchmarks(
+    suite: Optional[str] = None, name_filter: Optional[str] = None
+) -> List[Benchmark]:
+    """Benchmarks in ``suite`` (all suites when ``None``) whose name
+    contains ``name_filter`` (no filter when ``None``), ordered by name."""
+    if suite is not None and suite not in SUITES:
+        raise BenchError(f"unknown suite {suite!r}; known: {', '.join(SUITES)}")
+    chosen = [
+        bench
+        for bench in all_benchmarks()
+        if (suite is None or bench.suite == suite)
+        and (name_filter is None or name_filter in bench.name)
+    ]
+    return chosen

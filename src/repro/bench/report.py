@@ -1,0 +1,141 @@
+"""Versioned benchmark report: build, render, validate.
+
+The JSON form is a stable machine interface (CI consumes it and the
+committed ``BENCH_<n>.json`` baselines use it), mirroring
+:mod:`repro.lint.reporters` and :mod:`repro.faults.cli`::
+
+    {
+      "schema": 1,
+      "suite": "micro",
+      "repetitions": 3,
+      "benchmarks": [
+        {
+          "name": "micro.engine.schedule_fire_cancel",
+          "suite": "micro",
+          "repetitions": 3,
+          "best_s": 0.0123,
+          "mean_s": 0.0131,
+          "work": {"sim.events_fired": 5334, ...},
+          "deterministic": true
+        },
+        ...
+      ]
+    }
+
+``work`` values are exact integers; serialization sorts keys, so two
+runs of the same code produce byte-identical ``work`` sections (the
+property the CI double-run smoke checks).  Wall-clock fields are the
+only machine-dependent part of a report.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.bench.harness import BenchResult
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "build_report",
+    "render_bench_human",
+    "render_bench_json",
+    "validate_bench_report",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Top-level keys every bench report must carry.
+_REQUIRED_KEYS = ("schema", "suite", "repetitions", "benchmarks")
+
+#: Keys every per-benchmark record must carry.
+_REQUIRED_BENCH_KEYS = (
+    "name", "suite", "repetitions", "best_s", "mean_s", "work",
+    "deterministic",
+)
+
+
+def build_report(
+    results: Sequence[BenchResult], suite: str, repetitions: int
+) -> Dict[str, Any]:
+    """Assemble the versioned report dict from harness results."""
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "suite": suite,
+        "repetitions": repetitions,
+        "benchmarks": [result.as_dict() for result in results],
+    }
+
+
+def render_bench_json(report: Dict[str, Any]) -> str:
+    return json.dumps(report, indent=1, sort_keys=True)
+
+
+def render_bench_human(report: Dict[str, Any]) -> str:
+    """Aligned ``name  best  mean  work-items`` lines."""
+    lines = [
+        f"bench suite={report['suite']}"
+        f"  repetitions={report['repetitions']}"
+        f"  benchmarks={len(report['benchmarks'])}",
+    ]
+    for bench in report["benchmarks"]:
+        flag = "" if bench.get("deterministic", True) else "  NONDETERMINISTIC"
+        lines.append(
+            f"  {bench['name']:<40} best={bench['best_s']:.6f}s"
+            f" mean={bench['mean_s']:.6f}s"
+            f" work_counters={len(bench['work'])}{flag}"
+        )
+    return "\n".join(lines)
+
+
+def validate_bench_report(doc: Any) -> List[str]:
+    """Schema-check a parsed bench JSON report; returns error strings."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"report must be an object, got {type(doc).__name__}"]
+    for key in _REQUIRED_KEYS:
+        if key not in doc:
+            errors.append(f"missing key {key!r}")
+    if doc.get("schema") != BENCH_SCHEMA_VERSION:
+        errors.append(
+            f"schema is {doc.get('schema')!r},"
+            f" expected {BENCH_SCHEMA_VERSION}"
+        )
+    benchmarks = doc.get("benchmarks")
+    if benchmarks is not None and not isinstance(benchmarks, list):
+        errors.append("benchmarks must be a list")
+        benchmarks = None
+    seen: set = set()
+    for index, bench in enumerate(benchmarks or []):
+        label = f"benchmarks[{index}]"
+        if not isinstance(bench, dict):
+            errors.append(f"{label} must be an object")
+            continue
+        for key in _REQUIRED_BENCH_KEYS:
+            if key not in bench:
+                errors.append(f"{label} missing key {key!r}")
+        name = bench.get("name")
+        if isinstance(name, str):
+            if name in seen:
+                errors.append(f"{label} duplicate benchmark name {name!r}")
+            seen.add(name)
+        work = bench.get("work")
+        if work is not None:
+            if not isinstance(work, dict):
+                errors.append(f"{label} work must be an object")
+            elif not all(
+                isinstance(k, str) and isinstance(v, int) and not
+                isinstance(v, bool)
+                for k, v in work.items()
+            ):
+                errors.append(
+                    f"{label} work must map str names to int counts"
+                )
+        for key in ("best_s", "mean_s"):
+            value = bench.get(key)
+            if value is not None and (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool) or value < 0
+            ):
+                errors.append(f"{label} {key} must be a non-negative number")
+    return errors

@@ -22,6 +22,10 @@ Rules (see ``docs/LINTING.md`` for the full catalog and rationale):
 * **ERR001** — no ``except Exception`` that neither re-raises nor raises
   a :mod:`repro.errors` type.
 * **API001** — ``__all__`` must match the module's public definitions.
+* **FLT001** — no direct mutation of transport fault state outside
+  ``repro.faults``; faults must be declared as ``FaultPlan`` events.
+* **BEN001** — no host-clock reads inside ``repro/bench/`` benchmark
+  bodies; only ``repro/bench/harness.py`` times.
 
 Suppress a finding on one line with ``# repro: noqa[RULE001]`` (comma
 list allowed; bare ``# repro: noqa`` suppresses every rule on the line).
@@ -50,6 +54,7 @@ from repro.lint.reporters import render_human, render_json
 
 # Importing the rule modules registers their rules with the engine.
 from repro.lint import rules_api  # noqa: F401
+from repro.lint import rules_bench  # noqa: F401
 from repro.lint import rules_determinism  # noqa: F401
 from repro.lint import rules_errors  # noqa: F401
 from repro.lint import rules_faults  # noqa: F401

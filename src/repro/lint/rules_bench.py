@@ -1,0 +1,89 @@
+"""BEN001: benchmark bodies must not read the host clock.
+
+The benchmark contract (see ``docs/BENCHMARKS.md``) splits timing from
+work: bodies in :mod:`repro.bench` do a fixed, seed-derived amount of
+work and record counters; only the harness
+(``repro/bench/harness.py``) wraps them in ``time.perf_counter``.  A
+body that times itself double-counts clock noise into its own work,
+drifts when the host is loaded, and — worse — invites "fast paths"
+conditioned on elapsed time, which would make the work counters
+machine-dependent and break the exact-match comparison ``repro bench
+--compare`` relies on.
+
+Scope: every module under ``repro/bench/`` except ``harness.py`` (the
+one sanctioned timer).  Flagged: importing any wall-clock reader from
+``time`` (``perf_counter``, ``monotonic``, ``time``, ...), calling one
+through an attribute chain (``time.perf_counter()``), and
+``datetime.now``-family constructors.  ``import time`` alone is not
+flagged — only using it to read the clock is.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import LintContext, Rule, register
+from repro.lint.findings import Finding
+from repro.lint.rules_determinism import (
+    DATETIME_NOW_ATTRS,
+    WALL_CLOCK_ATTRS,
+    _attr_chain,
+)
+
+__all__ = ["ClockInBenchmarkBody"]
+
+#: The one bench module allowed to time things.
+HARNESS_MODULE = ("bench", "harness.py")
+
+
+def _in_scope(ctx: LintContext) -> bool:
+    return ctx.in_package("bench") and not ctx.is_module(*HARNESS_MODULE)
+
+
+@register
+class ClockInBenchmarkBody(Rule):
+    rule_id = "BEN001"
+    title = "host-clock read inside a benchmark body"
+    rationale = (
+        "Benchmark bodies do deterministic work; only the harness"
+        " (repro/bench/harness.py) times them with perf_counter."
+        " A self-timing body folds host-clock noise into its behaviour"
+        " and can make work counters machine-dependent, defeating the"
+        " exact-match comparison of 'repro bench --compare'."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in WALL_CLOCK_ATTRS:
+                            yield ctx.finding(
+                                self.rule_id, node,
+                                f"import of 'time.{alias.name}' in a"
+                                " benchmark body; only"
+                                " repro/bench/harness.py may time",
+                            )
+            elif isinstance(node, ast.Call):
+                chain = _attr_chain(node.func)
+                if len(chain) >= 2 and chain[-2] == "time" and (
+                    chain[-1] in WALL_CLOCK_ATTRS
+                ):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"host-clock call '{'.'.join(chain)}' in a"
+                        " benchmark body; only repro/bench/harness.py"
+                        " may time",
+                    )
+                elif len(chain) >= 2 and chain[-1] in DATETIME_NOW_ATTRS and (
+                    chain[-2] in ("datetime", "date")
+                ):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"host-clock call '{'.'.join(chain)}' in a"
+                        " benchmark body; only repro/bench/harness.py"
+                        " may time",
+                    )

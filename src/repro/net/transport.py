@@ -599,8 +599,10 @@ class Network:
         if self._metrics is not None:
             if kind == "msg_send":
                 self._metrics.inc("net.messages_sent")
+                self._metrics.inc("net.bytes_sent", size_bytes)
             elif kind == "msg_deliver":
                 self._metrics.inc("net.messages_delivered")
+                self._metrics.inc("net.bytes_delivered", size_bytes)
             else:
                 self._metrics.inc("net.messages_dropped")
                 self._metrics.inc(f"net.messages_dropped.{reason}")

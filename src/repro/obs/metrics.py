@@ -15,6 +15,15 @@ Design constraints, in priority order:
   multi-million-event simulation cannot exhaust memory.
 * **Deterministic output** — snapshots sort every name; nothing reads
   the host clock or ``id()``.
+* **Order-independent merges** — folding k histograms together yields
+  the same :meth:`Histogram.summary` for every merge order: exact
+  aggregates are commutative, and the moment raw retention cannot hold
+  *every* observation the percentiles switch to the power-of-two bucket
+  sketch (a pure count map, merged by addition) instead of answering
+  from whichever raw prefix happened to survive.  ``summary()`` labels
+  the provenance via ``percentile_source`` and flags lossy merges with
+  ``merged_truncated``, so an estimated percentile is never silently
+  reported as exact.
 """
 
 from __future__ import annotations
@@ -35,9 +44,15 @@ class Histogram:
     Exact count/sum/min/max always; raw values up to
     :data:`RAW_SAMPLE_CAP` for percentile queries on small samples;
     power-of-two magnitude buckets for a shape sketch at any scale.
+
+    Percentiles are exact (nearest-rank over the full raw sample) while
+    every observation is retained, and switch to a bucket-sketch
+    estimate — deterministic and merge-order-independent — once raw
+    retention has overflowed (:attr:`truncated`).
     """
 
-    __slots__ = ("count", "total", "minimum", "maximum", "_raw", "_buckets")
+    __slots__ = ("count", "total", "minimum", "maximum", "_raw", "_buckets",
+                 "_merged_truncated")
 
     def __init__(self) -> None:
         self.count = 0
@@ -46,6 +61,7 @@ class Histogram:
         self.maximum = -math.inf
         self._raw: List[float] = []
         self._buckets: Dict[int, int] = {}
+        self._merged_truncated = False
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -72,26 +88,105 @@ class Histogram:
         """True when raw retention overflowed (aggregates stay exact)."""
         return self.count > len(self._raw)
 
+    @property
+    def merged_truncated(self) -> bool:
+        """True when a merge could not retain every raw observation.
+
+        Set when either merge side was already truncated or the combined
+        raw samples overflowed :data:`RAW_SAMPLE_CAP`; from then on
+        percentiles come from the bucket sketch, never from the
+        (necessarily partial) raw retention.
+        """
+        return self._merged_truncated
+
+    @property
+    def percentile_source(self) -> str:
+        """``"raw"`` (exact) or ``"buckets"`` (sketch estimate)."""
+        return "buckets" if self.truncated else "raw"
+
     def values(self) -> List[float]:
         """Retained raw observations (all of them unless ``truncated``)."""
         return list(self._raw)
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile over the *retained* raw sample."""
-        if not self._raw:
+        """Nearest-rank percentile.
+
+        Exact over the full raw sample while every observation is
+        retained; once :attr:`truncated`, answers with a bucket-sketch
+        estimate (see :meth:`percentile_source`) instead of silently
+        using whatever raw prefix survived.
+        """
+        if self.count == 0:
             raise ValueError("percentile of an empty histogram")
+        if self.truncated:
+            return self._bucket_percentile(q)
         ordered = sorted(self._raw)
         rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
         return ordered[rank]
 
+    def _bucket_percentile(self, q: float) -> float:
+        """Estimate a percentile from the power-of-two bucket counts.
+
+        Buckets are scanned in ascending value order (bucket index order)
+        to the one containing the nearest rank; the result interpolates
+        linearly inside that bucket's range and is clamped into
+        ``[minimum, maximum]``.  Depends only on the bucket count map and
+        the exact aggregates, both of which merge commutatively — so the
+        estimate is identical for every merge order.
+        """
+        rank = max(0, min(self.count - 1, math.ceil(q * self.count) - 1))
+        seen = 0
+        for bucket in sorted(self._buckets):
+            n = self._buckets[bucket]
+            if rank < seen + n:
+                lo, hi = _bucket_bounds(bucket)
+                span = hi - lo
+                if not math.isfinite(span):
+                    estimate = lo if math.isfinite(lo) else 0.0
+                else:
+                    estimate = lo + ((rank - seen) + 0.5) / n * span
+                return min(max(estimate, self.minimum), self.maximum)
+            seen += n
+        # Unreachable unless bucket counts disagree with ``count``.
+        return self.maximum
+
     def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram, order-independently.
+
+        Aggregates and bucket counts add exactly.  Raw samples are kept
+        in full while the combination fits :data:`RAW_SAMPLE_CAP`;
+        otherwise each side contributes a deterministic, proportional
+        stride-sample (for :meth:`values` inspection only) and
+        :attr:`merged_truncated` is set — reported percentiles then come
+        from the bucket sketch, which does not depend on merge order.
+        """
+        lossy = (
+            self.truncated
+            or other.truncated
+            or len(self._raw) + len(other._raw) > RAW_SAMPLE_CAP
+        )
         self.count += other.count
         self.total += other.total
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
-        room = RAW_SAMPLE_CAP - len(self._raw)
-        if room > 0:
-            self._raw.extend(other._raw[:room])
+        if lossy:
+            total_raw = len(self._raw) + len(other._raw)
+            if total_raw > RAW_SAMPLE_CAP:
+                quota_other = min(
+                    len(other._raw),
+                    round(RAW_SAMPLE_CAP * len(other._raw) / total_raw),
+                )
+                quota_self = min(
+                    len(self._raw), RAW_SAMPLE_CAP - quota_other
+                )
+                self._raw = _stride_sample(self._raw, quota_self)
+                self._raw.extend(_stride_sample(other._raw, quota_other))
+            else:
+                self._raw.extend(other._raw)
+            self._merged_truncated = True
+        else:
+            self._raw.extend(other._raw)
+        self._merged_truncated = self._merged_truncated or other._merged_truncated
         for bucket, n in other._buckets.items():
             self._buckets[bucket] = self._buckets.get(bucket, 0) + n
 
@@ -104,13 +199,15 @@ class Histogram:
             "mean": round(self.mean, 9),
             "min": self.minimum,
             "max": self.maximum,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "percentile_source": self.percentile_source,
         }
-        if self._raw:
-            out["p50"] = self.percentile(0.50)
-            out["p90"] = self.percentile(0.90)
-            out["p99"] = self.percentile(0.99)
         if self.truncated:
             out["truncated"] = True
+        if self._merged_truncated:
+            out["merged_truncated"] = True
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -127,6 +224,42 @@ def _bucket_of(value: float) -> int:
     if value < 1.0:
         return 0
     return 1 + int(math.log2(value))
+
+
+#: The sentinel bucket holding NaN/inf observations.
+_NONFINITE_BUCKET = -(10 ** 6)
+
+
+def _bucket_bounds(bucket: int) -> Tuple[float, float]:
+    """The half-open value range ``[lo, hi)`` a bucket index covers.
+
+    Mirrors :func:`_bucket_of`: bucket 0 is ``[0, 1)``, bucket ``b >= 1``
+    is ``[2**(b-1), 2**b)``, and negative buckets are the mirrored
+    negative ranges.  Exponents beyond float range degrade to ``inf``
+    (callers clamp into ``[minimum, maximum]`` anyway).
+    """
+    if bucket == _NONFINITE_BUCKET:
+        return -math.inf, math.inf
+    if bucket == 0:
+        return 0.0, 1.0
+    if bucket >= 1:
+        lo = 2.0 ** (bucket - 1) if bucket <= 1024 else math.inf
+        hi = 2.0 ** bucket if bucket <= 1023 else math.inf
+        return lo, hi
+    lo, hi = _bucket_bounds(-1 - bucket)
+    return -hi, -lo
+
+
+def _stride_sample(values: List[float], k: int) -> List[float]:
+    """``k`` evenly spaced elements of ``values`` (all of them if
+    ``k >= len``); purely positional, so deterministic."""
+    n = len(values)
+    if k >= n:
+        return list(values)
+    if k <= 0:
+        return []
+    step = n / k
+    return [values[min(n - 1, int((i + 0.5) * step))] for i in range(k)]
 
 
 class Metrics:

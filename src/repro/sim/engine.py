@@ -767,6 +767,8 @@ class Simulator:
                     pop(queue)
                     event.popped = True
                     self._tombstones -= 1
+                    if metrics is not None:
+                        metrics.inc("sim.tombstones_drained")
                     continue
                 if until is not None and event.time > until:
                     break
@@ -774,15 +776,19 @@ class Simulator:
                 event.popped = True
                 self.now = event.time
                 self._processed += 1
-                if tracer is not None:
-                    tracer.emit(
-                        "event_fired", t=self.now, event_seq=event.seq,
-                        cb=_callback_name(event.callback),
-                        depth=self.pending_events,
-                    )
-                if metrics is not None:
-                    metrics.inc("sim.events_fired")
-                    metrics.observe("sim.queue_depth", self.pending_events)
+                if tracer is not None or metrics is not None:
+                    # One depth computation shared by both hooks (the
+                    # pending_events property re-derives it each call).
+                    depth = len(queue) - self._tombstones
+                    if tracer is not None:
+                        tracer.emit(
+                            "event_fired", t=self.now, event_seq=event.seq,
+                            cb=_callback_name(event.callback),
+                            depth=depth,
+                        )
+                    if metrics is not None:
+                        metrics.inc("sim.events_fired")
+                        metrics.observe("sim.queue_depth", depth)
                 event.callback(*event.args)
                 budget -= 1
                 if budget <= 0:

@@ -1,0 +1,110 @@
+"""Two-channel comparison semantics: exact work, banded wall clock."""
+
+import copy
+
+from repro.bench.compare import (
+    CompareFinding,
+    compare_reports,
+    render_compare_human,
+)
+
+BASE = {
+    "schema": 1,
+    "suite": "micro",
+    "repetitions": 2,
+    "benchmarks": [
+        {
+            "name": "micro.a",
+            "suite": "micro",
+            "repetitions": 2,
+            "best_s": 0.010,
+            "mean_s": 0.011,
+            "work": {"sim.events_fired": 100, "net.messages_sent": 5},
+            "deterministic": True,
+        },
+    ],
+}
+
+
+def _variant(**overrides):
+    doc = copy.deepcopy(BASE)
+    doc["benchmarks"][0].update(overrides)
+    return doc
+
+
+def _regressions(findings):
+    return [f for f in findings if f.regression]
+
+
+class TestCompare:
+    def test_identical_reports_clean(self):
+        assert compare_reports(BASE, copy.deepcopy(BASE)) == []
+
+    def test_work_counter_drift_is_exact_regression(self):
+        findings = compare_reports(
+            BASE, _variant(work={"sim.events_fired": 101,
+                                 "net.messages_sent": 5}))
+        assert [f.kind for f in _regressions(findings)] == ["work_drift"]
+        assert "101" in findings[0].message
+
+    def test_counter_appearing_or_vanishing_is_drift(self):
+        gone = compare_reports(BASE, _variant(work={"sim.events_fired": 100}))
+        extra = compare_reports(
+            BASE, _variant(work={"sim.events_fired": 100,
+                                 "net.messages_sent": 5, "new.counter": 1}))
+        assert [f.kind for f in gone] == ["work_drift"]
+        assert [f.kind for f in extra] == ["work_drift"]
+
+    def test_wall_clock_within_band_clean(self):
+        # 10ms -> 12ms is inside 25% + 25ms floor.
+        assert compare_reports(BASE, _variant(best_s=0.012)) == []
+
+    def test_wall_clock_past_band_regresses(self):
+        findings = compare_reports(BASE, _variant(best_s=1.0))
+        assert [f.kind for f in findings] == ["wall_clock"]
+        assert findings[0].regression
+
+    def test_absolute_floor_absorbs_jitter_on_tiny_benchmarks(self):
+        old = _variant(best_s=0.0001)
+        slightly_slower = _variant(best_s=0.010)
+        assert compare_reports(old, slightly_slower) == []
+        findings = compare_reports(old, slightly_slower,
+                                   absolute_floor_s=0.0)
+        assert [f.kind for f in findings] == ["wall_clock"]
+
+    def test_improvement_is_note_not_regression(self):
+        findings = compare_reports(BASE, _variant(best_s=0.001))
+        assert [f.kind for f in findings] == ["improved"]
+        assert not findings[0].regression
+
+    def test_missing_benchmark_regresses(self):
+        new = copy.deepcopy(BASE)
+        new["benchmarks"] = []
+        findings = compare_reports(BASE, new)
+        assert [f.kind for f in findings] == ["missing"]
+        assert findings[0].regression
+
+    def test_new_benchmark_in_new_report_is_fine(self):
+        new = copy.deepcopy(BASE)
+        new["benchmarks"].append(dict(BASE["benchmarks"][0],
+                                      name="micro.brand_new"))
+        assert compare_reports(BASE, new) == []
+
+    def test_nondeterministic_new_run_regresses(self):
+        findings = compare_reports(BASE, _variant(deterministic=False))
+        assert "nondeterministic" in [f.kind for f in _regressions(findings)]
+
+
+class TestRenderCompare:
+    def test_summary_line_counts(self):
+        findings = [
+            CompareFinding("micro.a", "work_drift", "drifted", True),
+            CompareFinding("micro.b", "improved", "faster", False),
+        ]
+        text = render_compare_human(findings)
+        assert "REGRESSION micro.a" in text
+        assert "note" in text
+        assert "1 regression(s), 1 note(s)" in text
+
+    def test_empty_findings_report_zero(self):
+        assert "0 regression(s)" in render_compare_human([])

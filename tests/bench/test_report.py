@@ -1,0 +1,84 @@
+"""Report building, rendering, and schema validation."""
+
+import json
+
+from repro.bench.harness import BenchResult
+from repro.bench.report import (
+    BENCH_SCHEMA_VERSION,
+    build_report,
+    render_bench_human,
+    render_bench_json,
+    validate_bench_report,
+)
+
+
+def _result(name="micro.x", **overrides):
+    base = dict(name=name, suite="micro", repetitions=2,
+                best_s=0.001, mean_s=0.0015,
+                work={"sim.events_fired": 10}, deterministic=True)
+    base.update(overrides)
+    return BenchResult(**base)
+
+
+def _report(*results):
+    return build_report(results or [_result()], "micro", 2)
+
+
+class TestBuildAndRender:
+    def test_round_trip_is_valid(self):
+        report = _report()
+        assert report["schema"] == BENCH_SCHEMA_VERSION
+        assert validate_bench_report(report) == []
+        parsed = json.loads(render_bench_json(report))
+        assert validate_bench_report(parsed) == []
+        assert parsed == report
+
+    def test_json_rendering_is_key_sorted(self):
+        text = render_bench_json(_report())
+        assert text == json.dumps(json.loads(text), indent=1, sort_keys=True)
+
+    def test_human_rendering_lists_benchmarks(self):
+        text = render_bench_human(_report())
+        assert "suite=micro" in text
+        assert "micro.x" in text
+        assert "NONDETERMINISTIC" not in text
+
+    def test_human_rendering_flags_nondeterminism(self):
+        text = render_bench_human(_report(_result(deterministic=False)))
+        assert "NONDETERMINISTIC" in text
+
+
+class TestValidation:
+    def test_non_object_rejected(self):
+        assert validate_bench_report([]) != []
+        assert validate_bench_report("nope") != []
+
+    def test_missing_top_level_keys(self):
+        errors = validate_bench_report({"schema": BENCH_SCHEMA_VERSION})
+        assert any("suite" in e for e in errors)
+        assert any("benchmarks" in e for e in errors)
+
+    def test_wrong_schema_version(self):
+        report = _report()
+        report["schema"] = 99
+        assert any("schema" in e for e in validate_bench_report(report))
+
+    def test_missing_bench_keys(self):
+        report = _report()
+        del report["benchmarks"][0]["work"]
+        assert any("work" in e for e in validate_bench_report(report))
+
+    def test_duplicate_names_rejected(self):
+        report = build_report([_result(), _result()], "micro", 2)
+        assert any("duplicate" in e for e in validate_bench_report(report))
+
+    def test_work_values_must_be_true_ints(self):
+        report = _report(_result(work={"c": 1.5}))
+        assert any("work" in e for e in validate_bench_report(report))
+        report = _report(_result(work={"c": True}))
+        assert any("work" in e for e in validate_bench_report(report))
+
+    def test_negative_wall_clock_rejected(self):
+        report = _report()
+        report["benchmarks"][0]["best_s"] = -0.1
+        assert any("best_s" in e for e in validate_bench_report(report))

@@ -1,0 +1,12 @@
+"""BEN001 positive fixture: a benchmark body timing itself."""
+
+import time
+from time import perf_counter
+
+
+def bench_self_timed(metrics):
+    start = time.perf_counter()
+    for _ in range(1000):
+        pass
+    elapsed = perf_counter() - start
+    metrics.inc("bench.slow", int(elapsed > 0.5))

@@ -17,6 +17,7 @@ EXPECTED_FIXTURE_RULES = {
     "par001_lambda_to_pool.py": {"PAR001"},
     "err001_broad_except.py": {"ERR001"},
     "api001_all_mismatch.py": {"API001"},
+    "bench/ben001_timed_body.py": {"BEN001"},
 }
 
 
@@ -39,7 +40,7 @@ class TestFixtures:
         found_rules = {f.rule_id for f in findings}
         assert found_rules == {
             "DET001", "DET002", "DET003", "PAR001", "ERR001", "API001",
-            "FLT001",
+            "FLT001", "BEN001",
         }
 
     def test_findings_sorted_by_path_then_line(self):

@@ -1,10 +1,13 @@
 """Unit tests for the metrics registry and streaming histograms."""
 
+import itertools
 import json
 import math
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
+import repro.obs.metrics as metrics_mod
 from repro.obs import Metrics
 from repro.obs.metrics import RAW_SAMPLE_CAP, Histogram, _bucket_of
 
@@ -82,6 +85,115 @@ class TestHistogram:
         assert _bucket_of(1024.0) == 11
         assert _bucket_of(-1.0) < 0
         assert _bucket_of(math.inf) == _bucket_of(math.nan)
+
+    def test_truncated_percentile_answers_from_buckets(self):
+        hist = Histogram()
+        n = RAW_SAMPLE_CAP + 1000
+        for value in range(n):
+            hist.observe(float(value))
+        assert hist.truncated
+        assert hist.percentile_source == "buckets"
+        summary = hist.summary()
+        assert summary["percentile_source"] == "buckets"
+        assert summary["truncated"] is True
+        assert "merged_truncated" not in summary  # no merge happened
+        # The sketch estimate is sane: inside range and monotone.
+        assert hist.minimum <= summary["p50"] <= summary["p90"]
+        assert summary["p90"] <= summary["p99"] <= hist.maximum
+
+    def test_untruncated_percentile_stays_exact_raw(self):
+        hist = Histogram()
+        for value in range(100):
+            hist.observe(float(value))
+        assert hist.percentile_source == "raw"
+        summary = hist.summary()
+        assert summary["percentile_source"] == "raw"
+        assert summary["p50"] == 49.0  # exact nearest-rank, not an estimate
+        assert "truncated" not in summary
+        assert "merged_truncated" not in summary
+
+
+def _hist_of(values):
+    hist = Histogram()
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+def _fold_summary(shards, order):
+    acc = Histogram()
+    for index in order:
+        acc.merge(_hist_of(shards[index]))
+    return acc.summary()
+
+
+class TestMergeOrderIndependence:
+    """The PR-5 headline fix: percentiles no longer depend on merge order."""
+
+    def test_regression_truncated_merge_was_order_biased(self):
+        # Two truncated shards with disjoint distributions.  The old code
+        # answered percentiles from whichever raw prefix survived the
+        # merge — a.merge(b) reported ~10, b.merge(a) reported ~1000.
+        n = RAW_SAMPLE_CAP + 500
+        low = [10.0] * n
+        high = [1000.0] * n
+        ab = _fold_summary([low, high], (0, 1))
+        ba = _fold_summary([low, high], (1, 0))
+        assert ab == ba
+        assert ab["percentile_source"] == "buckets"
+        assert ab["merged_truncated"] is True
+        # And the estimate sees BOTH sides: the p90 must land in the
+        # high shard's bucket, which the old a.merge(b) path never did.
+        assert ab["p50"] < 1000.0 <= ab["p99"] or ab["p50"] >= 10.0
+        assert ab["p90"] > 10.0
+
+    def test_all_permutations_past_cap_identical(self):
+        shards = [
+            [float((s * 7919 + i * 31) % 5000) for i in range(2000)]
+            for s in range(3)
+        ]  # 6000 total observations > RAW_SAMPLE_CAP
+        summaries = [
+            _fold_summary(shards, order)
+            for order in itertools.permutations(range(3))
+        ]
+        assert all(s == summaries[0] for s in summaries)
+        assert summaries[0]["percentile_source"] == "buckets"
+        assert summaries[0]["merged_truncated"] is True
+
+    def test_small_merges_stay_exact_and_unflagged(self):
+        shards = [[1.0, 2.0], [3.0], [4.0, 5.0]]
+        summaries = [
+            _fold_summary(shards, order)
+            for order in itertools.permutations(range(3))
+        ]
+        assert all(s == summaries[0] for s in summaries)
+        assert summaries[0]["percentile_source"] == "raw"
+        assert "truncated" not in summaries[0]
+        assert "merged_truncated" not in summaries[0]
+
+    @given(
+        shards=st.lists(
+            st.lists(
+                st.integers(min_value=-1000, max_value=1000).map(float),
+                min_size=1, max_size=40,
+            ),
+            min_size=2, max_size=5,
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_any_permutation_same_summary(self, shards, data):
+        perm = data.draw(st.permutations(range(len(shards))))
+        # Shrink the cap so hypothesis-sized inputs exercise truncation
+        # (integer-valued floats keep sums exact in every order).
+        original_cap = metrics_mod.RAW_SAMPLE_CAP
+        metrics_mod.RAW_SAMPLE_CAP = 16
+        try:
+            baseline = _fold_summary(shards, range(len(shards)))
+            permuted = _fold_summary(shards, perm)
+        finally:
+            metrics_mod.RAW_SAMPLE_CAP = original_cap
+        assert baseline == permuted
 
 
 class TestMetrics:
