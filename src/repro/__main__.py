@@ -107,6 +107,11 @@ def _register_experiments() -> None:
 # --seed overrides the base seed where the driver takes one).
 _SWEEPABLE: Dict[str, Callable[..., object]] = {}
 
+# The subset with a vectorized cohort-engine variant (--engine cohort);
+# lambdas take (runner, seed, devices) with devices=None meaning the
+# driver default.
+_SWEEPABLE_COHORT: Dict[str, Callable[..., object]] = {}
+
 
 def _register_sweeps() -> None:
     from repro.analysis import (
@@ -138,16 +143,48 @@ def _register_sweeps() -> None:
             seed=seed, runner=runner),
     })
 
+    from repro.analysis import (
+        run_feasibility_cohort,
+        run_federation_availability_cohort,
+        run_quality_vs_quantity_cohort,
+        run_social_tradeoff_cohort,
+    )
+
+    def _devices_kwargs(devices):
+        return {} if devices is None else {"devices": devices}
+
+    _SWEEPABLE_COHORT.update({
+        "E3": lambda runner, seed, devices: run_feasibility_cohort(
+            seed=seed, runner=runner, **_devices_kwargs(devices))["table3"],
+        "E4": lambda runner, seed, devices: run_federation_availability_cohort(
+            seed=seed, runner=runner, **_devices_kwargs(devices)),
+        "E5": lambda runner, seed, devices: run_social_tradeoff_cohort(
+            seed=seed, runner=runner, **_devices_kwargs(devices)),
+        "E9": lambda runner, seed, devices: run_quality_vs_quantity_cohort(
+            seed=seed, runner=runner, **_devices_kwargs(devices)),
+    })
+
 
 def _sweep(args) -> int:
     from repro.analysis import SweepCache, SweepRunner
 
     _register_sweeps()
-    driver = _SWEEPABLE.get(args.name.upper())
-    if driver is None:
-        print(f"unknown sweep {args.name!r}; sweepable:"
-              f" {', '.join(sorted(_SWEEPABLE))}", file=sys.stderr)
-        return 2
+    if args.engine == "cohort":
+        cohort_driver = _SWEEPABLE_COHORT.get(args.name.upper())
+        if cohort_driver is None:
+            print(f"no cohort engine for {args.name!r}; cohort-sweepable:"
+                  f" {', '.join(sorted(_SWEEPABLE_COHORT))}", file=sys.stderr)
+            return 2
+        driver = lambda runner, seed: cohort_driver(runner, seed, args.devices)
+    else:
+        driver = _SWEEPABLE.get(args.name.upper())
+        if driver is None:
+            print(f"unknown sweep {args.name!r}; sweepable:"
+                  f" {', '.join(sorted(_SWEEPABLE))}", file=sys.stderr)
+            return 2
+        if args.devices is not None:
+            print("--devices requires --engine cohort", file=sys.stderr)
+            return 2
     if args.chunksize < 1:
         print(f"--chunksize must be >= 1, got {args.chunksize}",
               file=sys.stderr)
@@ -224,6 +261,13 @@ def main(argv: List[str] = None) -> int:
                            help="grid points per worker dispatch")
     sweep_cmd.add_argument("--metrics", action="store_true",
                            help="record and print an obs metrics summary")
+    sweep_cmd.add_argument("--engine", choices=("process", "cohort"),
+                           default="process",
+                           help="per-process event engine (default) or the"
+                                " vectorized cohort engine")
+    sweep_cmd.add_argument("--devices", type=int, default=None,
+                           help="cohort population size (cohort engine only;"
+                                " default: driver-specific)")
     trace_cmd = sub.add_parser(
         "trace",
         help="run an experiment under tracing; write a JSONL trace",
@@ -302,6 +346,8 @@ def main(argv: List[str] = None) -> int:
               f" {' '.join(sorted(_EXPERIMENTS))}")
         print(f"sweepable (python -m repro sweep <id> --workers N):"
               f" {' '.join(sorted(_SWEEPABLE))}")
+        print("cohort engine (python -m repro sweep <id> --engine cohort"
+              f" --devices N): {' '.join(sorted(_SWEEPABLE_COHORT))}")
         from repro.faults import PRESETS, SCENARIOS
 
         print("chaos (python -m repro chaos <id> --plan <preset>):"

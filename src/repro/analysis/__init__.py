@@ -1,5 +1,12 @@
 """Experiment drivers and table rendering (the bench layer's engine)."""
 
+from repro.analysis.cohort import (
+    run_churn_availability,
+    run_feasibility_cohort,
+    run_federation_availability_cohort,
+    run_quality_vs_quantity_cohort,
+    run_social_tradeoff_cohort,
+)
 from repro.analysis.experiments import (
     naming_attack_curve,
     run_federation_availability,
@@ -45,4 +52,9 @@ __all__ = [
     "sparkline",
     "ascii_plot",
     "verify_reproduction",
+    "run_churn_availability",
+    "run_federation_availability_cohort",
+    "run_social_tradeoff_cohort",
+    "run_quality_vs_quantity_cohort",
+    "run_feasibility_cohort",
 ]

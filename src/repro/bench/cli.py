@@ -4,7 +4,7 @@ Usage::
 
     python -m repro bench                          # both suites, human
     python -m repro bench --suite micro --format json
-    python -m repro bench --suite micro --out BENCH_5.json
+    python -m repro bench --suite micro --out BENCH_6.json
     python -m repro bench --suite micro --compare BENCH_4.json
     python -m repro bench --compare OLD.json NEW.json   # no run, just diff
     python -m repro bench --list                   # benchmark catalog
@@ -57,7 +57,7 @@ def add_bench_arguments(parser: Any) -> None:
     )
     parser.add_argument(
         "--out", default=None, metavar="PATH",
-        help="write the JSON report here (e.g. BENCH_5.json)",
+        help="write the JSON report here (e.g. BENCH_6.json)",
     )
     parser.add_argument(
         "--compare", nargs="+", default=None, metavar="REPORT",

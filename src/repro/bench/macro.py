@@ -36,6 +36,7 @@ from repro.sim.rng import RngStreams
 __all__ = [
     "bench_chaos_no_plan",
     "bench_chaos_quiet_plan",
+    "bench_e4_cohort_100k",
     "bench_e4_federation_scaling",
     "bench_e5_churn_tradeoff",
     "bench_e6_registration_sweep",
@@ -56,6 +57,17 @@ def bench_e4_federation_scaling(metrics: Metrics) -> None:
 
     with observe(metrics=metrics):
         run_federation_availability(seed=7)
+
+
+@register_benchmark(
+    "macro.e4_cohort_100k", "macro",
+    "E4 federation availability on the cohort engine at 100k devices",
+)
+def bench_e4_cohort_100k(metrics: Metrics) -> None:
+    from repro.analysis.cohort import run_federation_availability_cohort
+
+    with observe(metrics=metrics):
+        run_federation_availability_cohort(seed=7, devices=100_000)
 
 
 @register_benchmark(

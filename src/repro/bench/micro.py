@@ -23,6 +23,7 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams, seeded_rng
 
 __all__ = [
+    "bench_cohort_step",
     "bench_engine_schedule_fire_cancel",
     "bench_histogram_observe_merge",
     "bench_rng_stream_draw",
@@ -32,6 +33,9 @@ __all__ = [
 
 #: Loop sizes, fixed so work counters are identical everywhere.
 _ENGINE_EVENTS = 6000
+_COHORT_DEVICES = 50_000
+_COHORT_HORIZON = 2000.0
+_COHORT_TICK = 50.0
 _SEND_MESSAGES = 1500
 _RPC_ROUNDS = 400
 _RNG_DRAWS_PER_STREAM = 20000
@@ -112,6 +116,29 @@ def bench_rng_stream_draw(metrics: Metrics) -> None:
     # The sum is a pure function of the seeds; folding it into a counter
     # (scaled to an int) lets compare() catch any drift in draw order.
     metrics.inc("bench.rng_draw_checksum", int(total * 1e6))
+
+
+@register_benchmark(
+    "micro.cohort.step", "micro",
+    "vectorized cohort renewal steps (50k devices, 40 coarse ticks)",
+)
+def bench_cohort_step(metrics: Metrics) -> None:
+    from repro.sim.cohort import CohortEngine, DeviceCohort
+    from repro.sim.rng import seeded_generator
+
+    engine = CohortEngine(tick=_COHORT_TICK, metrics=metrics)
+    cohort = engine.add(DeviceCohort(
+        "bench", _COHORT_DEVICES, mean_uptime=600.0, mean_downtime=300.0,
+        attrition=0.01, generator=seeded_generator(7001, "bench.cohort"),
+    ))
+    engine.run(_COHORT_HORIZON)
+    # Integer work counters double as a draw-order checksum: any change
+    # to the batch-flip loop or the dwell sampler moves them.
+    metrics.inc("bench.cohort_flips", cohort.flips)
+    metrics.inc("bench.cohort_sessions", cohort.sessions())
+    metrics.inc("bench.cohort_departed", cohort.departed_count())
+    metrics.inc("bench.cohort_draws", cohort.draws)
+    metrics.inc("bench.cohort_final_online", cohort.online_count())
 
 
 @register_benchmark(

@@ -14,7 +14,12 @@ from typing import Iterator, Set, Tuple
 from repro.lint.engine import LintContext, Rule, register
 from repro.lint.findings import Finding
 
-__all__ = ["RandomOutsideRng", "WallClockInSim", "NumpyGlobalRandom"]
+__all__ = [
+    "RandomOutsideRng",
+    "WallClockInSim",
+    "NumpyGlobalRandom",
+    "UngovernedNumpyGenerator",
+]
 
 #: Packages whose code runs inside the simulated world (DET002 scope).
 SIMULATED_PACKAGES = ("sim", "net", "chain", "storage", "groupcomm")
@@ -32,6 +37,13 @@ DATETIME_NOW_ATTRS = frozenset({"now", "utcnow", "today"})
 NUMPY_SEEDED_OK = frozenset({
     "default_rng", "Generator", "SeedSequence", "PCG64", "Philox",
     "MT19937", "SFC64", "BitGenerator", "RandomState",
+})
+
+#: ``numpy.random`` generator constructors (DET004 scope): seeded, so
+#: DET003 allows them — but construction belongs in repro/sim/rng.py.
+NUMPY_GENERATOR_CTORS = frozenset({
+    "default_rng", "Generator", "PCG64", "Philox", "MT19937", "SFC64",
+    "RandomState",
 })
 
 
@@ -180,4 +192,71 @@ class NumpyGlobalRandom(Rule):
                     self.rule_id, node,
                     f"global-state call '{'.'.join(chain)}'; use"
                     " numpy.random.default_rng(seed) instead",
+                )
+
+
+@register
+class UngovernedNumpyGenerator(Rule):
+    rule_id = "DET004"
+    title = "numpy Generator constructed outside repro/sim/rng.py"
+    rationale = (
+        "Vectorized randomness must route through"
+        " repro.sim.rng.seeded_generator / RngStreams.generator so numpy"
+        " streams are named, derive_seed-derived, and draw-order"
+        " checksummable; an ad-hoc default_rng()/Generator() sidesteps"
+        " the stream discipline exactly like DET001's random.Random."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.is_module("sim", "rng.py"):
+            return
+        numpy_aliases: Set[str] = set()
+        random_aliases: Set[str] = set()
+        ctor_aliases: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            random_aliases.add(alias.asname)
+                        else:
+                            numpy_aliases.add("numpy")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            random_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name in NUMPY_GENERATOR_CTORS:
+                            ctor_aliases.add(alias.asname or alias.name)
+        if not (numpy_aliases or random_aliases or ctor_aliases):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _attr_chain(node.func)
+            ungoverned = (
+                (
+                    len(chain) == 3
+                    and chain[0] in numpy_aliases
+                    and chain[1] == "random"
+                    and chain[2] in NUMPY_GENERATOR_CTORS
+                )
+                or (
+                    len(chain) == 2
+                    and chain[0] in random_aliases
+                    and chain[1] in NUMPY_GENERATOR_CTORS
+                )
+                or (len(chain) == 1 and chain[0] in ctor_aliases)
+            )
+            if ungoverned:
+                yield ctx.finding(
+                    self.rule_id, node,
+                    f"ungoverned generator construction"
+                    f" '{'.'.join(chain)}(...)'; use"
+                    " repro.sim.rng.seeded_generator(root_seed, name)"
+                    " (or RngStreams.generator) instead",
                 )

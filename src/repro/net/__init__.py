@@ -9,6 +9,7 @@ from repro.net.churn import (
     ChurnProcess,
     ChurnProfile,
     attach_churn,
+    cohort_from_profile,
     profile_for_class,
 )
 from repro.net.latency import (
@@ -35,6 +36,7 @@ __all__ = [
     "ChurnProfile",
     "ChurnProcess",
     "attach_churn",
+    "cohort_from_profile",
     "profile_for_class",
     "DATACENTER_PROFILE",
     "HOME_SERVER_PROFILE",

@@ -8,11 +8,14 @@ bytes take from node A to node B right now?  Total delay is propagation
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.errors import NetworkError
 from repro.net.node import Node
 from repro.sim.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    import numpy
 
 __all__ = [
     "LatencyModel",
@@ -24,10 +27,26 @@ __all__ = [
 
 
 class LatencyModel:
-    """Base class; subclasses implement :meth:`propagation_delay`."""
+    """Base class; subclasses implement :meth:`propagation_delay`.
+
+    Models also expose :meth:`sample_propagation_delays`, the vectorized
+    form used by the cohort engine: ``n`` delay draws for anonymous
+    random node pairs, taken from a caller-supplied numpy generator
+    (build it with :func:`repro.sim.rng.seeded_generator`) rather than
+    the model's own scalar stream, so the batch path never perturbs the
+    per-message draw sequence.
+    """
 
     def propagation_delay(self, src: Node, dst: Node) -> float:
         raise NotImplementedError
+
+    def sample_propagation_delays(
+        self, generator: "numpy.random.Generator", n: int
+    ) -> Any:
+        """``n`` propagation delays for random pairs, as a numpy array."""
+        raise NetworkError(
+            f"{type(self).__name__} has no vectorized sampler"
+        )
 
     def delay(self, src: Node, dst: Node, size_bytes: int) -> float:
         """Propagation + serialization delay for a message."""
@@ -49,19 +68,47 @@ class ConstantLatency(LatencyModel):
     def propagation_delay(self, src: Node, dst: Node) -> float:
         return self.seconds
 
+    def sample_propagation_delays(
+        self, generator: "numpy.random.Generator", n: int
+    ) -> Any:
+        import numpy
+
+        return numpy.full(n, self.seconds)
+
 
 class UniformLatency(LatencyModel):
-    """Propagation delay drawn uniformly from [lo, hi] per message."""
+    """Propagation delay drawn uniformly from [lo, hi] per message.
 
-    def __init__(self, streams: RngStreams, lo: float = 0.01, hi: float = 0.1):
+    ``streams`` may be ``None`` for cohort-only use (only the vectorized
+    sampler works then; per-message draws need the scalar stream).
+    """
+
+    def __init__(
+        self,
+        streams: Optional[RngStreams] = None,
+        lo: float = 0.01,
+        hi: float = 0.1,
+    ):
         if not 0 <= lo <= hi:
             raise NetworkError(f"invalid latency range [{lo}, {hi}]")
         self.lo = lo
         self.hi = hi
-        self._rng = streams.stream("latency.uniform")
+        self._rng = None if streams is None else streams.stream("latency.uniform")
 
     def propagation_delay(self, src: Node, dst: Node) -> float:
+        if self._rng is None:
+            raise NetworkError(
+                "UniformLatency built without streams supports only"
+                " sample_propagation_delays"
+            )
         return self._rng.uniform(self.lo, self.hi)
+
+    def sample_propagation_delays(
+        self, generator: "numpy.random.Generator", n: int
+    ) -> Any:
+        # Inverse-CDF over the raw uniform doubles; see repro.sim.cohort
+        # for why draws avoid the distribution-specific methods.
+        return self.lo + (self.hi - self.lo) * generator.random(n)
 
 
 class LogNormalLatency(LatencyModel):
@@ -70,15 +117,32 @@ class LogNormalLatency(LatencyModel):
     Parameterized by the median delay and sigma of the underlying normal.
     """
 
-    def __init__(self, streams: RngStreams, median: float = 0.05, sigma: float = 0.5):
+    def __init__(
+        self,
+        streams: Optional[RngStreams] = None,
+        median: float = 0.05,
+        sigma: float = 0.5,
+    ):
         if median <= 0:
             raise NetworkError(f"median latency must be positive: {median}")
         self.mu = math.log(median)
         self.sigma = float(sigma)
-        self._rng = streams.stream("latency.lognormal")
+        self._rng = None if streams is None else streams.stream("latency.lognormal")
 
     def propagation_delay(self, src: Node, dst: Node) -> float:
+        if self._rng is None:
+            raise NetworkError(
+                "LogNormalLatency built without streams supports only"
+                " sample_propagation_delays"
+            )
         return self._rng.lognormvariate(self.mu, self.sigma)
+
+    def sample_propagation_delays(
+        self, generator: "numpy.random.Generator", n: int
+    ) -> Any:
+        import numpy
+
+        return numpy.exp(self.mu + self.sigma * generator.standard_normal(n))
 
 
 class PlanetLatency(LatencyModel):
@@ -120,4 +184,21 @@ class PlanetLatency(LatencyModel):
             return 0.0
         (x1, y1), (x2, y2) = self._coord(src), self._coord(dst)
         distance = math.hypot(x2 - x1, y2 - y1) / math.sqrt(2.0)
+        return 2 * self.access_hop_seconds + distance * self.diameter_seconds
+
+    def sample_propagation_delays(
+        self, generator: "numpy.random.Generator", n: int
+    ) -> Any:
+        """Delays for ``n`` fresh random pairs on the unit square.
+
+        The batch path has no stable node identities to pin coordinates
+        to, so each sample is an independent pair — the same marginal
+        distribution :meth:`propagation_delay` produces for previously
+        unseen node pairs.
+        """
+        import numpy
+
+        dx = generator.random(n) - generator.random(n)
+        dy = generator.random(n) - generator.random(n)
+        distance = numpy.hypot(dx, dy) / math.sqrt(2.0)
         return 2 * self.access_hop_seconds + distance * self.diameter_seconds

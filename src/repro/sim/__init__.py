@@ -6,10 +6,13 @@ Public surface:
 * :class:`Process`, :class:`Signal`, :class:`Timeout`, :class:`AllOf`,
   :class:`AnyOf`, :class:`Interrupt` — process combinators.
 * :class:`RngStreams` — named deterministic randomness.
+* :class:`DeviceCohort`, :class:`CohortEngine` — the vectorized batch
+  engine for population-scale (10^5-10^6 device) experiments.
 * :class:`Monitor`, :class:`Counter`, :class:`Sampler`,
   :class:`TimeWeightedGauge` — measurement.
 """
 
+from repro.sim.cohort import CohortEngine, DeviceCohort
 from repro.sim.engine import (
     AllOf,
     AnyOf,
@@ -20,10 +23,13 @@ from repro.sim.engine import (
     Timeout,
 )
 from repro.sim.monitor import Counter, Monitor, Sampler, TimeWeightedGauge, summarize
-from repro.sim.rng import RngStreams, derive_seed, seeded_rng
+from repro.sim.rng import RngStreams, derive_seed, seeded_generator, seeded_rng
 
 __all__ = [
     "Simulator",
+    "CohortEngine",
+    "DeviceCohort",
+    "seeded_generator",
     "Process",
     "Signal",
     "Timeout",

@@ -1,0 +1,280 @@
+"""Vectorized cohort simulation: whole-population array updates.
+
+The per-process engine (:mod:`repro.sim.engine`) schedules one heap
+event per device transition, which tops out around 10^2-10^3 nodes.
+The paper's §4 feasibility argument is about *millions* of devices, so
+this module provides the batch alternative: a :class:`DeviceCohort`
+holds the state of N homogeneous devices as numpy arrays (online flag,
+renewal clock, departure flag, online-time integral) and advances them
+with whole-cohort array operations between coarse ticks driven by a
+:class:`CohortEngine`.
+
+Semantics mirror :class:`repro.net.churn.ChurnProcess` — an alternating
+renewal process with exponential dwell times and per-departure
+attrition — but draws are batched, so the two engines agree only in
+*aggregate distribution*, not draw-for-draw.  The tolerance contract
+between them is documented in ``docs/SCALING.md`` and enforced by the
+hypothesis equivalence suite in ``tests/sim/test_cohort_equivalence.py``.
+
+Determinism notes:
+
+* All randomness comes from one ``numpy.random.Generator`` handed in by
+  the caller (build it with :func:`repro.sim.rng.seeded_generator`).
+* Exponential dwells are drawn by inverse-CDF from ``Generator.random``
+  — the raw uniform double stream, which numpy keeps stable across
+  versions — rather than ``Generator.exponential``, whose ziggurat
+  tables are not covered by the stream-compatibility guarantee.
+* Aggregate counters (flips, sessions, departures, per-tick online
+  counts) are integers, so golden tests can pin them exactly.
+
+Memory stays O(arrays) + O(histogram buckets): no per-device Python
+objects are ever created, and results stream into the bucket-sketch
+:class:`repro.obs.metrics.Histogram`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+import numpy
+
+from repro.errors import SimulationError
+from repro.obs.metrics import Metrics
+from repro.obs.runtime import active as _active_observation
+
+__all__ = ["CohortEngine", "DeviceCohort"]
+
+
+def _exponential_dwells(
+    generator: "numpy.random.Generator", scales: Any, size: int
+) -> Any:
+    """Exponential draws via inverse-CDF over the uniform double stream.
+
+    ``scales`` may be a scalar or a per-element array of means.  Using
+    ``-scale * log1p(-U)`` instead of ``Generator.exponential`` pins the
+    draw sequence to the bit-generator's uniform output, which is the
+    part of numpy's RNG surface with a cross-version stability promise.
+    """
+    return -scales * numpy.log1p(-generator.random(size))
+
+
+class DeviceCohort:
+    """N homogeneous devices advanced by whole-array renewal steps.
+
+    Parameters mirror :class:`repro.net.churn.ChurnProfile`: exponential
+    mean uptime/downtime in seconds plus a per-departure ``attrition``
+    probability of never returning.  All devices start online (matching
+    ``ChurnProcess``) unless ``start_online=False``.
+
+    The per-device state is five flat numpy arrays; aggregate accessors
+    (:meth:`online_count`, :meth:`sessions`, ...) return plain Python
+    ints/floats so reports stay JSON-safe.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        mean_uptime: float,
+        mean_downtime: float,
+        attrition: float = 0.0,
+        *,
+        generator: "numpy.random.Generator",
+        start_online: bool = True,
+    ):
+        if size < 1:
+            raise SimulationError(f"cohort needs at least one device: {size}")
+        if mean_uptime <= 0 or mean_downtime <= 0:
+            raise SimulationError(
+                f"cohort needs positive dwell means, got {mean_uptime},"
+                f" {mean_downtime}"
+            )
+        if not 0 <= attrition <= 1:
+            raise SimulationError(f"attrition must be in [0,1]: {attrition}")
+        self.name = str(name)
+        self.size = int(size)
+        self.mean_uptime = float(mean_uptime)
+        self.mean_downtime = float(mean_downtime)
+        self.attrition = float(attrition)
+        self._generator = generator
+        self.now = 0.0
+        self.online = numpy.full(self.size, bool(start_online))
+        self.departed = numpy.zeros(self.size, dtype=bool)
+        self._last_update = numpy.zeros(self.size, dtype=numpy.float64)
+        self._online_seconds = numpy.zeros(self.size, dtype=numpy.float64)
+        first_scale = self.mean_uptime if start_online else self.mean_downtime
+        self.next_flip = _exponential_dwells(generator, first_scale, self.size)
+        #: Total state transitions (either direction) so far.
+        self.flips = 0
+        #: Offline->online transitions so far (the per-process engine's
+        #: ``Node.sessions``, summed over the cohort).
+        self._sessions = 0
+        #: Uniform draws consumed; feeds the bench draw-order checksum.
+        self.draws = self.size
+
+    # -- the batch step ---------------------------------------------------
+
+    def advance_to(self, t: float) -> int:
+        """Process every renewal transition up to time ``t``, vectorized.
+
+        Devices whose next flip lands inside the window are toggled in
+        batch; a device flipping several times before ``t`` is handled by
+        the loop (each pass re-draws its dwell and re-checks the clock).
+        Returns the number of flips processed in this step.
+        """
+        if t < self.now:
+            raise SimulationError(
+                f"cohort {self.name!r} cannot rewind from {self.now} to {t}"
+            )
+        flips_before = self.flips
+        while True:
+            due = numpy.nonzero(~self.departed & (self.next_flip <= t))[0]
+            if due.size == 0:
+                break
+            flip_times = self.next_flip[due]
+            was_online = self.online[due]
+            # Credit online time up to the flip for devices going offline.
+            going_off = due[was_online]
+            self._online_seconds[going_off] += (
+                flip_times[was_online] - self._last_update[going_off]
+            )
+            self._last_update[due] = flip_times
+            self.online[due] = ~was_online
+            self.flips += int(due.size)
+            self._sessions += int(due.size - going_off.size)
+            if self.attrition > 0.0 and going_off.size:
+                # Attrition draw on every going-offline flip, like
+                # ChurnProcess._flip; departed devices never rejoin.
+                draws = self._generator.random(going_off.size)
+                self.draws += int(going_off.size)
+                departing = going_off[draws < self.attrition]
+                self.departed[departing] = True
+                self.next_flip[departing] = numpy.inf
+            alive = due[~self.departed[due]]
+            if alive.size:
+                scales = numpy.where(
+                    self.online[alive], self.mean_uptime, self.mean_downtime
+                )
+                self.next_flip[alive] = flip_times[
+                    ~self.departed[due]
+                ] + _exponential_dwells(self._generator, scales, alive.size)
+                self.draws += int(alive.size)
+        still_on = numpy.nonzero(self.online)[0]
+        self._online_seconds[still_on] += t - self._last_update[still_on]
+        self._last_update[:] = t
+        self.now = float(t)
+        return self.flips - flips_before
+
+    # -- aggregates (plain Python scalars, JSON-safe) ---------------------
+
+    def online_count(self) -> int:
+        """Devices currently online (departed devices are offline)."""
+        return int(self.online.sum())
+
+    def departed_count(self) -> int:
+        return int(self.departed.sum())
+
+    def sessions(self) -> int:
+        """Total offline->online transitions, summed over the cohort."""
+        return self._sessions
+
+    def availability_time_mean(self) -> float:
+        """Exact time-averaged online fraction over [0, now].
+
+        Float-valued (unlike the tick-sampled integer counts), so golden
+        tests should pin the integer aggregates and treat this as
+        approximate.
+        """
+        if self.now <= 0:
+            return 1.0 if bool(self.online.all()) else 0.0
+        return float(self._online_seconds.sum() / (self.size * self.now))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DeviceCohort({self.name!r}, size={self.size},"
+            f" online={self.online_count()}, t={self.now})"
+        )
+
+
+class CohortEngine:
+    """Advances cohorts in coarse fixed ticks and aggregates per tick.
+
+    The array-world counterpart of :class:`repro.sim.engine.Simulator`:
+    it owns the clock, adopts the ambient :mod:`repro.obs` metrics
+    registry exactly like the event engine does, and between ticks hands
+    control to an ``on_tick`` callback where experiment drivers sample
+    whole-cohort aggregates (integer online counts, probe batches, ...).
+
+    Metrics recorded when a registry is active: ``cohort.devices``,
+    ``cohort.ticks``, ``cohort.flips``, ``cohort.draws`` counters and a
+    ``cohort.online_fraction`` histogram sampled at each tick boundary.
+    """
+
+    def __init__(self, tick: float, metrics: Optional[Metrics] = None):
+        if tick <= 0:
+            raise SimulationError(f"tick must be positive: {tick}")
+        if metrics is None:
+            observation = _active_observation()
+            if observation is not None:
+                metrics = observation.metrics
+        self._metrics = metrics
+        self.tick = float(tick)
+        self.now = 0.0
+        self.ticks = 0
+        self.cohorts: List[DeviceCohort] = []
+
+    def add(self, cohort: DeviceCohort) -> DeviceCohort:
+        """Register a cohort; it must not have advanced past the engine."""
+        if cohort.now != self.now:
+            raise SimulationError(
+                f"cohort {cohort.name!r} is at t={cohort.now}, engine at"
+                f" t={self.now}"
+            )
+        self.cohorts.append(cohort)
+        if self._metrics is not None:
+            self._metrics.inc("cohort.devices", cohort.size)
+        return cohort
+
+    def run(
+        self,
+        until: float,
+        on_tick: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        """Advance every cohort to ``until`` in ``tick``-sized steps.
+
+        ``on_tick(t)`` fires after all cohorts reach each tick boundary
+        (including a final partial tick landing exactly on ``until``), so
+        sampling code sees a mutually consistent population snapshot.
+        """
+        if until < self.now:
+            raise SimulationError(
+                f"cannot run backwards: now={self.now}, until={until}"
+            )
+        while self.now < until:
+            t = min(self.now + self.tick, until)
+            flips = 0
+            draws_before = sum(c.draws for c in self.cohorts)
+            for cohort in self.cohorts:
+                flips += cohort.advance_to(t)
+            self.now = t
+            self.ticks += 1
+            if self._metrics is not None:
+                self._metrics.inc("cohort.ticks")
+                if flips:
+                    self._metrics.inc("cohort.flips", flips)
+                draws = sum(c.draws for c in self.cohorts) - draws_before
+                if draws:
+                    self._metrics.inc("cohort.draws", draws)
+                for cohort in self.cohorts:
+                    self._metrics.observe(
+                        "cohort.online_fraction",
+                        cohort.online_count() / cohort.size,
+                    )
+            if on_tick is not None:
+                on_tick(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CohortEngine(tick={self.tick}, now={self.now},"
+            f" cohorts={len(self.cohorts)})"
+        )

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.chain import ChainState, LedgerRules, TxKind, make_transaction
+from repro.chain import (
+    ChainState,
+    ConsensusParams,
+    LedgerRules,
+    TxKind,
+    make_transaction,
+    required_difficulty,
+)
 from repro.chain.block import make_block, make_genesis
 from repro.chain.transaction import make_coinbase
 from repro.crypto import generate_keypair
@@ -199,3 +206,86 @@ class TestForksAndReorgs:
         # Only one can be in the consensus state at a time.
         state = chain.state_at()
         assert (state.balance("bob") > 0) != (state.balance("carol") > 0)
+
+
+class TestDifficultyRetarget:
+    PARAMS = ConsensusParams(
+        target_block_interval=10.0, retarget_interval=5, initial_difficulty=100.0
+    )
+
+    def build_chain(self, spacing: float):
+        chain = ChainState()
+        parent = chain.genesis
+        for height in range(1, 5):
+            block = make_block(
+                parent=parent,
+                timestamp=parent.timestamp + spacing,
+                miner="m",
+                difficulty=100.0,
+                transactions=[make_coinbase("m", 50.0, height)],
+            )
+            chain.add_block(block)
+            parent = block
+        return chain, parent
+
+    def test_no_retarget_mid_window(self):
+        chain, parent = self.build_chain(spacing=10.0)
+        # Heights 1-4: next height 5 triggers; height 3 does not.
+        mid_parent = chain.block_at_height(2)
+        assert required_difficulty(chain, mid_parent, self.PARAMS) == 100.0
+
+    def test_fast_blocks_raise_difficulty(self):
+        chain, parent = self.build_chain(spacing=2.0)  # 5x too fast
+        adjusted = required_difficulty(chain, parent, self.PARAMS)
+        assert adjusted > 100.0
+
+    def test_slow_blocks_lower_difficulty(self):
+        chain, parent = self.build_chain(spacing=50.0)  # 5x too slow
+        adjusted = required_difficulty(chain, parent, self.PARAMS)
+        assert adjusted < 100.0
+
+    def test_retarget_clamped(self):
+        chain, parent = self.build_chain(spacing=0.01)  # 1000x too fast
+        adjusted = required_difficulty(chain, parent, self.PARAMS)
+        assert adjusted == pytest.approx(100.0 * self.PARAMS.max_retarget_factor)
+
+    def test_genesis_child_uses_initial(self):
+        chain = ChainState()
+        assert required_difficulty(
+            chain, chain.genesis, self.PARAMS
+        ) == self.PARAMS.initial_difficulty
+
+    def test_params_validation(self):
+        with pytest.raises(InvalidBlockError):
+            ConsensusParams(target_block_interval=0.0)
+        with pytest.raises(InvalidBlockError):
+            ConsensusParams(retarget_interval=0)
+        with pytest.raises(InvalidBlockError):
+            ConsensusParams(max_retarget_factor=0.5)
+
+
+class TestChainStateQueries:
+    def test_cumulative_work_unknown_block(self):
+        chain = ChainState()
+        with pytest.raises(InvalidBlockError):
+            chain.cumulative_work("0" * 64)
+
+    def test_state_at_unknown_block(self):
+        chain = ChainState()
+        with pytest.raises(InvalidBlockError):
+            chain.state_at("0" * 64)
+
+    def test_state_at_returns_copy(self):
+        chain = ChainState(premine={"a": 10.0})
+        state = chain.state_at()
+        state._credit("a", 1000.0)
+        assert chain.state_at().balance("a") == 10.0
+
+    def test_block_unknown_raises(self):
+        chain = ChainState()
+        with pytest.raises(InvalidBlockError):
+            chain.block("ff" * 32)
+
+    def test_genesis_shape_validation(self):
+        genesis = make_genesis()
+        genesis.validate_shape()  # no coinbase requirement at height 0

@@ -240,3 +240,33 @@ class TestMajorityAttack:
         sim.run(until=sim.now + 5.0)
         # After release, honest has received them all (adopted or not).
         assert all(honest.chain.has_block(b) for b in private_block_ids)
+
+
+class TestMempoolIntrospection:
+    def test_contains_and_pending_order(self):
+        alice = generate_keypair("gap-alice")
+        pool = Mempool()
+        low = make_transaction(alice, TxKind.PAY, {"to": "x", "amount": 1}, 0, fee=0.1)
+        high = make_transaction(alice, TxKind.PAY, {"to": "x", "amount": 1}, 1, fee=0.9)
+        pool.add(low)
+        pool.add(high)
+        assert low.txid in pool
+        assert len(pool) == 2
+        assert pool.pending()[0].fee == 0.9  # fee-descending
+
+    def test_full_pool_rejects(self):
+        alice = generate_keypair("gap-alice2")
+        pool = Mempool(max_size=1)
+        t1 = make_transaction(alice, TxKind.PAY, {"to": "x", "amount": 1}, 0)
+        t2 = make_transaction(alice, TxKind.PAY, {"to": "x", "amount": 1}, 1)
+        assert pool.add(t1)
+        assert not pool.add(t2)
+        assert pool.rejected == 1
+
+    def test_remove(self):
+        alice = generate_keypair("gap-alice3")
+        pool = Mempool()
+        tx = make_transaction(alice, TxKind.PAY, {"to": "x", "amount": 1}, 0)
+        pool.add(tx)
+        pool.remove(tx.txid)
+        assert tx.txid not in pool

@@ -1,0 +1,30 @@
+"""The error-type hierarchy: everything roots at ReproError."""
+
+from repro import errors
+from repro.errors import ReproError
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        error_types = [
+            getattr(errors, name)
+            for name in dir(errors)
+            if isinstance(getattr(errors, name), type)
+            and issubclass(getattr(errors, name), Exception)
+        ]
+        for error_type in error_types:
+            assert issubclass(error_type, ReproError) or error_type is ReproError
+
+    def test_specific_parentage(self):
+        assert issubclass(errors.NodeOfflineError, errors.NetworkError)
+        assert issubclass(errors.RpcTimeoutError, errors.NetworkError)
+        assert issubclass(errors.InvalidBlockError, errors.ChainError)
+        assert issubclass(errors.ProofFailedError, errors.StorageError)
+        assert issubclass(errors.NameTakenError, errors.NamingError)
+        assert issubclass(errors.AccessDeniedError, errors.GroupCommError)
+
+    def test_remote_error_carries_cause(self):
+        inner = errors.StorageError("disk full")
+        wrapped = errors.RemoteError(inner)
+        assert wrapped.remote_exception is inner
+        assert "disk full" in str(wrapped)

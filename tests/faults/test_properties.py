@@ -153,7 +153,15 @@ def _run_workload(plan, seed):
     harness.add(no_double_resume())
     injector.arm()
     harness.start()
-    sim.run(until=HORIZON + 60.0)  # slack so in-flight messages settle
+    # Slack so in-flight messages settle.  Overlapping LatencySpike factors
+    # multiply (documented in repro.faults.injector), so the settle window
+    # must scale with the worst-case stacked amplification of the base
+    # 0.05s link latency — a fixed constant strands amplified messages.
+    amplification = 1.0
+    for event in plan.events:
+        if isinstance(event, LatencySpike):
+            amplification *= event.factor
+    sim.run(until=HORIZON + 60.0 + 0.05 * amplification)
     return sim, network, harness.finish()
 
 

@@ -206,3 +206,35 @@ class TestPubSub:
         overlay["n0"].publish("t", 123)
         sim.run()
         assert seen == [123]
+
+
+class TestPubSubUnderFailure:
+    def test_offline_node_breaks_ring_flood(self):
+        sim, streams, network = make_network(53)
+        graph = ring_lattice(6, k=2)  # pure ring: n3 is a cut vertex set
+        overlay = build_pubsub_overlay(network, graph)
+        for node in overlay.values():
+            node.subscribe("t")
+        # Cut the ring in two places: n1 and n4 offline.
+        network.node("n1").set_online(False, 0.0)
+        network.node("n4").set_online(False, 0.0)
+        overlay["n0"].publish("t", "m")
+        sim.run()
+        # n0's remaining neighbour n5 gets it; n2/n3 are cut off.
+        assert overlay["n5"].received_payloads("t") == ["m"]
+        assert overlay["n2"].received_payloads("t") == []
+        assert overlay["n3"].received_payloads("t") == []
+
+    def test_returning_node_missed_messages_forever(self):
+        # Flooding has no repair: §3.2's connectedness threat under churn.
+        sim, streams, network = make_network(54)
+        graph = ring_lattice(4, k=2)
+        overlay = build_pubsub_overlay(network, graph)
+        for node in overlay.values():
+            node.subscribe("t")
+        network.node("n2").set_online(False, 0.0)
+        overlay["n0"].publish("t", "missed")
+        sim.run()
+        network.node("n2").set_online(True, sim.now)
+        sim.run(until=sim.now + 100.0)
+        assert overlay["n2"].received_payloads("t") == []

@@ -10,6 +10,7 @@ from repro.errors import (
 from repro.groupcomm import (
     CentralizedPlatform,
     ReplicatedFederation,
+    Room,
     SingleHomeFederation,
     SocialP2PNetwork,
     audit_centralized,
@@ -561,3 +562,57 @@ class TestInstanceModeration:
 
         with pytest.raises(GroupCommError):
             fed.set_instance_policy("ghost.social", NoModeration())
+
+
+class TestFederationHelpers:
+    def test_add_users_bulk_assignment(self):
+        from collections import Counter
+
+        sim, streams, network = make_network(55)
+        fed = SingleHomeFederation(network, ["s0", "s1"])
+        users = [f"u{i}" for i in range(10)]
+        fed.add_users(users, seed=3)
+        homes = {fed.home_of(u) for u in users}
+        assert homes == {"s0", "s1"}
+        # Balanced: 5 per server.
+        counts = Counter(fed.home_of(u) for u in users)
+        assert set(counts.values()) == {5}
+
+    def test_unknown_server_rejected(self):
+        sim, streams, network = make_network(56)
+        fed = SingleHomeFederation(network, ["s0"])
+        with pytest.raises(GroupCommError):
+            fed.add_user("u", home="mystery")
+
+    def test_room_membership_check_before_creation(self):
+        sim, streams, network = make_network(57)
+        fed = SingleHomeFederation(network, ["s0"])
+        with pytest.raises(GroupCommError):
+            fed.create_room("r", ["homeless-user"])
+
+    def test_servers_for_room(self):
+        sim, streams, network = make_network(58)
+        fed = SingleHomeFederation(network, ["s0", "s1", "s2"])
+        fed.add_user("a", home="s0")
+        fed.add_user("b", home="s1")
+        fed.create_room("r", ["a", "b"])
+        assert fed.servers_for_room("r") == {"s0", "s1"}
+
+
+class TestRoomSemantics:
+    def test_public_room_admits_anyone(self):
+        room = Room("plaza", set(), public=True)
+        room.require_member("stranger")  # no exception
+
+    def test_private_room_rejects_non_member(self):
+        room = Room("private", {"alice"})
+        with pytest.raises(GroupCommError):
+            room.require_member("stranger")
+
+    def test_membership_management(self):
+        room = Room("r", set())
+        room.add_member("alice")
+        room.require_member("alice")
+        room.remove_member("alice")
+        with pytest.raises(GroupCommError):
+            room.require_member("alice")

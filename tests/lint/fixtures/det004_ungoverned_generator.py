@@ -1,0 +1,8 @@
+"""DET004 positive fixture: numpy Generator built outside sim/rng.py
+(never imported by tests; numpy need not resolve)."""
+
+import numpy as np
+
+
+def fresh(seed: int):
+    return np.random.default_rng(seed)

@@ -45,6 +45,6 @@ class TestLintCommand:
     def test_list_rules_catalog(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("DET001", "DET002", "DET003",
+        for rule_id in ("DET001", "DET002", "DET003", "DET004",
                         "PAR001", "ERR001", "API001"):
             assert rule_id in out

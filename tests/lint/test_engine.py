@@ -14,6 +14,7 @@ EXPECTED_FIXTURE_RULES = {
     "det001_random_import.py": {"DET001"},
     "sim/wall_clock.py": {"DET002"},
     "det003_numpy_global.py": {"DET003"},
+    "det004_ungoverned_generator.py": {"DET004"},
     "par001_lambda_to_pool.py": {"PAR001"},
     "err001_broad_except.py": {"ERR001"},
     "api001_all_mismatch.py": {"API001"},
@@ -39,8 +40,8 @@ class TestFixtures:
         findings = lint_paths([str(FIXTURES)])
         found_rules = {f.rule_id for f in findings}
         assert found_rules == {
-            "DET001", "DET002", "DET003", "PAR001", "ERR001", "API001",
-            "FLT001", "BEN001",
+            "DET001", "DET002", "DET003", "DET004", "PAR001", "ERR001",
+            "API001", "FLT001", "BEN001",
         }
 
     def test_findings_sorted_by_path_then_line(self):

@@ -100,17 +100,77 @@ class TestDET003:
     def test_from_numpy_random_import_flagged(self):
         assert "DET003" in rule_ids("from numpy.random import rand\n")
 
-    def test_default_rng_allowed(self):
+    def test_default_rng_not_global_state(self):
+        # default_rng is explicitly seeded, so DET003 stays quiet; the
+        # construction site itself is DET004's business.
         src = """
         import numpy as np
 
         def f(seed):
             return np.random.default_rng(seed).random()
         """
-        assert rule_ids(src) == []
+        assert "DET003" not in rule_ids(src)
 
     def test_no_numpy_no_findings(self):
         assert rule_ids("import math\n") == []
+
+
+class TestDET004:
+    def test_default_rng_attribute_chain_flagged(self):
+        src = """
+        import numpy as np
+
+        def f(seed):
+            return np.random.default_rng(seed)
+        """
+        assert rule_ids(src) == ["DET004"]
+
+    def test_generator_via_random_alias_flagged(self):
+        src = """
+        import numpy.random as npr
+
+        def f(seed):
+            return npr.Generator(npr.PCG64(seed))
+        """
+        assert rule_ids(src) == ["DET004", "DET004"]
+
+    def test_direct_ctor_import_call_flagged(self):
+        src = """
+        from numpy.random import default_rng
+
+        def f(seed):
+            return default_rng(seed)
+        """
+        assert rule_ids(src) == ["DET004"]
+
+    def test_rng_module_exempt(self):
+        src = """
+        import numpy
+
+        def seeded_generator(root_seed, name):
+            return numpy.random.Generator(numpy.random.PCG64(root_seed))
+        """
+        assert rule_ids(src, path="src/repro/sim/rng.py") == []
+
+    def test_seeded_generator_usage_clean(self):
+        src = """
+        from repro.sim.rng import seeded_generator
+
+        def f(seed):
+            return seeded_generator(seed, "f").random(10)
+        """
+        assert rule_ids(src) == []
+
+    def test_unrelated_default_rng_name_clean(self):
+        # A local function that merely shares a ctor name is not numpy's.
+        src = """
+        def default_rng(seed):
+            return seed
+
+        def f(seed):
+            return default_rng(seed)
+        """
+        assert rule_ids(src) == []
 
 
 class TestPAR001:

@@ -355,3 +355,19 @@ class TestZooko:
     def test_unknown_kind_rejected(self):
         with pytest.raises(NamingError):
             assess("quantum")
+
+
+class TestZookoBehavioural:
+    """The Zooko table is earned: each assessment's 'secure'/'decentralized'
+    bit corresponds to an attack that does or does not exist."""
+
+    def test_centralized_not_decentralized_bit(self):
+        # Backed by: CentralizedPKI.seize_name works (TestCentralizedPKI).
+        assert assess("centralized").decentralized is False
+
+    def test_wot_not_secure_bit(self):
+        # Backed by: WebOfTrust.sybil_attack succeeds with infiltration.
+        assert assess("web_of_trust").secure is False
+
+    def test_blockchain_rationale_mentions_caveat(self):
+        assert "51" in assess("blockchain").rationale

@@ -379,3 +379,85 @@ class TestPartitions:
         sim.schedule(0.01, network.partition, [["a"], ["b"]])
         sim.run()
         assert received == []
+
+
+class TestNodeMechanics:
+    def test_handler_replacement(self):
+        node = Node("n")
+        node.register_handler("m", lambda n, p, s: "first")
+        node.register_handler("m", lambda n, p, s: "second")
+        assert node.dispatch("m", None, "peer") == "second"
+
+    def test_has_handler(self):
+        node = Node("n")
+        assert not node.has_handler("m")
+        node.register_handler("m", lambda n, p, s: None)
+        assert node.has_handler("m")
+
+    def test_dispatch_unknown_method(self):
+        node = Node("n")
+        with pytest.raises(NetworkError):
+            node.dispatch("ghost", None, "peer")
+
+    def test_sessions_counted(self):
+        node = Node("n")
+        node.set_online(False, 1.0)
+        node.set_online(True, 2.0)
+        node.set_online(False, 3.0)
+        node.set_online(True, 4.0)
+        assert node.sessions == 2
+
+
+class TestRpcLossPaths:
+    def test_response_can_be_lost(self):
+        # With 50% loss, some RPCs lose the *response* (request delivered,
+        # handler ran, answer dropped) — the caller still times out.
+        sim = Simulator()
+        network = Network(
+            sim, RngStreams(51), latency=ConstantLatency(0.01), loss_rate=0.5
+        )
+        network.create_node("client")
+        server = network.create_node("server")
+        calls = {"handled": 0}
+
+        def handler(node, payload, sender):
+            calls["handled"] += 1
+            return "pong"
+
+        server.register_handler("m", handler)
+        outcomes = {"ok": 0, "timeout": 0}
+
+        def client():
+            for _ in range(60):
+                try:
+                    yield from network.rpc("client", "server", "m", timeout=1.0)
+                    outcomes["ok"] += 1
+                except RpcTimeoutError:
+                    outcomes["timeout"] += 1
+
+        sim.run_process(client())
+        assert outcomes["timeout"] > 0
+        assert outcomes["ok"] > 0
+        # Some handled requests produced lost responses.
+        assert calls["handled"] > outcomes["ok"]
+
+    def test_server_dying_before_response_times_out(self):
+        sim = Simulator()
+        network = Network(sim, RngStreams(52), latency=ConstantLatency(0.01))
+        network.create_node("client")
+        server = network.create_node("server")
+
+        def slow(node, payload, sender):
+            yield 5.0  # dies mid-work
+            return "never sent"
+
+        server.register_handler("m", slow)
+        sim.schedule(1.0, server.set_online, False, 1.0)
+
+        def client():
+            try:
+                yield from network.rpc("client", "server", "m", timeout=10.0)
+            except RpcTimeoutError:
+                return "lost"
+
+        assert sim.run_process(client()) == "lost"

@@ -1,0 +1,147 @@
+"""Cohort vs per-process equivalence, property-based.
+
+The two engines draw from different streams, so they can only agree in
+aggregate distribution.  The tolerance contract (``docs/SCALING.md``):
+averaged over ``SEEDS`` independent seeds, tick-sampled and time-mean
+availability must agree within
+
+    tol = max(0.06, 4.5 * sqrt(p*(1-p) / n_eff))
+
+where ``n_eff = N * seeds * max(1, horizon/(up+down))`` counts roughly
+independent device-renewal-cycles (the horizon boost only applies
+without attrition — departures correlate a device's whole trajectory).
+Flip/departure counts are Poisson-like, compared within ~6 sigma.
+
+Separately, the cohort path itself must be *exactly* deterministic:
+the same (config, seed) twice yields a byte-identical report dict.
+"""
+
+import json
+import math
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cohort import _churn_point
+
+SEEDS = (101, 202, 303)
+TICK = 50.0
+
+SETTINGS = settings(
+    max_examples=10 if os.environ.get("CI") else 30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+configs = st.fixed_dictionaries({
+    "devices": st.integers(min_value=20, max_value=200),
+    "mean_uptime": st.floats(min_value=60.0, max_value=1200.0),
+    "mean_downtime": st.floats(min_value=60.0, max_value=1200.0),
+    "attrition": st.sampled_from((0.0, 0.0, 0.05, 0.2)),
+    "horizon_ticks": st.integers(min_value=10, max_value=50),
+})
+
+
+def run_both(config):
+    """Per-engine reports for the same population, SEEDS runs each."""
+    kwargs = {
+        "devices": config["devices"],
+        "mean_uptime": config["mean_uptime"],
+        "mean_downtime": config["mean_downtime"],
+        "attrition": config["attrition"],
+        "horizon": config["horizon_ticks"] * TICK,
+        "tick": TICK,
+    }
+    cohort = [_churn_point(engine="cohort", seed=s, **kwargs) for s in SEEDS]
+    process = [_churn_point(engine="process", seed=s, **kwargs) for s in SEEDS]
+    return cohort, process
+
+
+def availability_tolerance(config, p_hat):
+    up, down = config["mean_uptime"], config["mean_downtime"]
+    horizon = config["horizon_ticks"] * TICK
+    boost = max(1.0, horizon / (up + down)) if config["attrition"] == 0 else 1.0
+    n_eff = config["devices"] * len(SEEDS) * boost
+    p = min(max(p_hat, 0.05), 0.95)
+    return max(0.06, 4.5 * math.sqrt(p * (1 - p) / n_eff))
+
+
+def count_tolerance(mean_count):
+    # Two independent Poisson-ish totals with mean ~lambda differ by
+    # ~sqrt(2*lambda); 6 sigma plus small absolute/relative slack.
+    return 10.0 + 6.0 * math.sqrt(2.0 * max(mean_count, 1.0)) + (
+        0.05 * mean_count
+    )
+
+
+class TestEngineEquivalence:
+    @SETTINGS
+    @given(config=configs)
+    def test_availability_aggregates_agree(self, config):
+        cohort, process = run_both(config)
+        for key in ("availability_tick_mean", "availability_time_mean"):
+            mean_c = sum(r[key] for r in cohort) / len(SEEDS)
+            mean_p = sum(r[key] for r in process) / len(SEEDS)
+            tol = availability_tolerance(config, (mean_c + mean_p) / 2)
+            assert abs(mean_c - mean_p) <= tol, (
+                f"{key}: cohort {mean_c:.4f} vs process {mean_p:.4f}"
+                f" exceeds tol {tol:.4f} for {config}"
+            )
+
+    @SETTINGS
+    @given(config=configs)
+    def test_flow_aggregates_agree(self, config):
+        cohort, process = run_both(config)
+        for key in ("flips", "sessions", "departed"):
+            total_c = sum(r[key] for r in cohort)
+            total_p = sum(r[key] for r in process)
+            tol = count_tolerance((total_c + total_p) / 2)
+            assert abs(total_c - total_p) <= tol, (
+                f"{key}: cohort {total_c} vs process {total_p} exceeds"
+                f" tol {tol:.1f} for {config}"
+            )
+
+    @SETTINGS
+    @given(config=configs)
+    def test_structural_invariants_on_both_engines(self, config):
+        cohort, process = run_both(config)
+        for report in cohort + process:
+            # Alternating renewal from all-online: exact identity.
+            offline_now = report["devices"] - report["final_online"]
+            assert report["flips"] == 2 * report["sessions"] + offline_now
+            assert 0 <= report["departed"] <= report["devices"]
+            assert 0 <= report["availability_tick_mean"] <= 1
+            assert 0 <= report["availability_time_mean"] <= 1
+            assert report["ticks"] == config["horizon_ticks"]
+            if config["attrition"] == 0:
+                assert report["departed"] == 0
+
+
+class TestCohortDeterminism:
+    @SETTINGS
+    @given(config=configs, seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_double_run_is_byte_identical(self, config, seed):
+        kwargs = {
+            "engine": "cohort",
+            "seed": seed,
+            "devices": config["devices"],
+            "mean_uptime": config["mean_uptime"],
+            "mean_downtime": config["mean_downtime"],
+            "attrition": config["attrition"],
+            "horizon": config["horizon_ticks"] * TICK,
+            "tick": TICK,
+        }
+        first = json.dumps(_churn_point(**kwargs), sort_keys=True)
+        second = json.dumps(_churn_point(**kwargs), sort_keys=True)
+        assert first == second
+
+    def test_distinct_seeds_give_distinct_draws(self):
+        base = {
+            "engine": "cohort", "devices": 100, "mean_uptime": 600.0,
+            "mean_downtime": 300.0, "attrition": 0.0, "horizon": 2000.0,
+            "tick": TICK,
+        }
+        a = _churn_point(seed=1, **base)
+        b = _churn_point(seed=2, **base)
+        assert a != b

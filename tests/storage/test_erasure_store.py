@@ -161,3 +161,35 @@ class TestErasureRepair:
             return result
 
         assert sim.run_process(scenario(), until=10_000.0) == data
+
+
+class TestErasureStoreEdges:
+    def test_unknown_content_rejected(self):
+        sim, streams, network, providers, store = setup_pool(
+            seed=65, n_providers=6
+        )
+        with pytest.raises(StorageError):
+            store.live_shards("ghost")
+
+        def scenario():
+            try:
+                yield from store.retrieve("ghost")
+            except StorageError:
+                return "unknown"
+
+        assert sim.run_process(scenario()) == "unknown"
+
+    def test_store_requires_enough_online(self):
+        sim, streams, network, providers, store = setup_pool(
+            seed=66, n_providers=6
+        )
+        network.node("p0").set_online(False, 0.0)
+        data = payload(streams, 1024)
+
+        def scenario():
+            try:
+                yield from store.store(data, "doc")
+            except StorageError:
+                return "short"
+
+        assert sim.run_process(scenario()) == "short"

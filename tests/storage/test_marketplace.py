@@ -218,3 +218,34 @@ class TestTable2Profiles:
         assert profile_for("filecoin").name == "Filecoin"
         with pytest.raises(StorageError):
             profile_for("dropbox")
+
+
+class TestMarketplaceEdges:
+    def test_cheapest_skips_offline(self):
+        sim = Simulator()
+        streams = RngStreams(41)
+        network = Network(sim, streams, latency=ConstantLatency(0.01))
+        market = StorageMarketplace(network, streams)
+        cheap = StorageProvider(network, "cheap", price_per_gb_epoch=0.001)
+        pricey = StorageProvider(network, "pricey", price_per_gb_epoch=1.0)
+        market.register_provider(cheap)
+        market.register_provider(pricey)
+        network.node("cheap").set_online(False, 0.0)
+        [chosen] = market.cheapest_providers(100, 1)
+        assert chosen.node_id == "pricey"
+
+    def test_deal_lookup(self):
+        sim = Simulator()
+        streams = RngStreams(42)
+        network = Network(sim, streams)
+        market = StorageMarketplace(network, streams)
+        with pytest.raises(ContractError):
+            market.deal("ghost")
+
+    def test_provider_lookup(self):
+        sim = Simulator()
+        streams = RngStreams(43)
+        network = Network(sim, streams)
+        market = StorageMarketplace(network, streams)
+        with pytest.raises(StorageError):
+            market.provider("ghost")

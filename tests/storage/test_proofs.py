@@ -273,3 +273,42 @@ class TestSpacetime:
         record = sim.run_process(scenario())
         assert 0.0 < record.uptime_fraction < 1.0
         assert len(record.epochs_failed) > 0
+
+
+class TestProviderInternals:
+    def test_incremental_put_accumulates(self):
+        sim = Simulator()
+        streams = RngStreams(59)
+        network = Network(sim, streams, latency=ConstantLatency(0.01))
+        provider = StorageProvider(network, "p")
+        network.create_node("client")
+        blob = make_random_blob(streams, 4 * 512, chunk_size=512)
+
+        def scenario():
+            # Upload chunk by chunk (resumable transfer).
+            for index, chunk in enumerate(blob.chunks):
+                yield from network.rpc(
+                    "client", "p", "store.put",
+                    {
+                        "commitment_id": blob.merkle_root,
+                        "chunk_count": len(blob.chunks),
+                        "entries": [(index, chunk, blob.proof_for(index))],
+                    },
+                )
+            return provider.commitments[blob.merkle_root]
+
+        stored = sim.run_process(scenario())
+        assert len(stored.payloads) == 4
+        assert stored.physically_stored_bytes == blob.size_bytes
+
+    def test_drop_chunks_validation(self):
+        sim = Simulator()
+        streams = RngStreams(60)
+        network = Network(sim, streams)
+        provider = StorageProvider(network, "p")
+        blob = make_random_blob(streams, 1024, chunk_size=512)
+        provider.accept_blob(blob)
+        with pytest.raises(StorageError):
+            provider.drop_chunks(blob.merkle_root, 1.5, streams.stream("x"))
+        with pytest.raises(StorageError):
+            provider.drop_chunks("unknown", 0.5, streams.stream("x"))

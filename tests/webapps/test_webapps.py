@@ -258,3 +258,106 @@ class TestDhtPeerDirectory:
             return (yield from directory.get_peers("ghost-site"))
 
         assert sim.run_process(scenario()) == []
+
+    def test_double_announce_is_idempotent(self):
+        sim = Simulator()
+        streams = RngStreams(63)
+        network = Network(sim, streams, latency=ConstantLatency(0.01))
+        overlay = build_overlay(
+            network, [f"n{i}" for i in range(10)], DhtConfig(k=4, alpha=2)
+        )
+        directory = DhtPeerDirectory(overlay["n0"])
+
+        def scenario():
+            yield from directory.announce("n0", "site")
+            yield from directory.announce("n0", "site")
+            return (yield from directory.get_peers("site"))
+
+        assert sim.run_process(scenario()) == ["n0"]
+
+    def test_multiple_seeders_accumulate(self):
+        sim = Simulator()
+        streams = RngStreams(64)
+        network = Network(sim, streams, latency=ConstantLatency(0.01))
+        overlay = build_overlay(
+            network, [f"n{i}" for i in range(10)], DhtConfig(k=4, alpha=2)
+        )
+
+        def scenario():
+            yield from DhtPeerDirectory(overlay["n1"]).announce("n1", "site")
+            yield from DhtPeerDirectory(overlay["n2"]).announce("n2", "site")
+            return (yield from DhtPeerDirectory(overlay["n5"]).get_peers("site"))
+
+        assert sim.run_process(scenario()) == ["n1", "n2"]
+
+
+class TestSwarmEdges:
+    def test_register_peer_idempotent(self):
+        sim, streams, network, tracker, swarm = make_env(44)
+        swarm.register_peer("p")
+        swarm.register_peer("p")  # no duplicate-node error
+        assert network.has_node("p")
+
+    def test_refusing_unverifiable_bundle(self):
+        sim, streams, network, tracker, swarm = make_env(45)
+        site = HostlessSite("gap-site")
+        site.write_file("a", b"data")
+        bundle = site.publish()
+        bad = SiteBundle(manifest=bundle.manifest, files={"a": b"tampered"})
+
+        def scenario():
+            yield from swarm.seed("peer", bad)
+
+        with pytest.raises(WebAppError):
+            sim.run_process(scenario())
+
+
+class TestMaliciousSeeder:
+    def test_visitor_rejects_tampered_bundle_and_finds_honest_peer(self):
+        sim, streams, network, tracker, swarm = make_env(61)
+        site = HostlessSite("attacked-site")
+        site.write_file("index.html", b"<h1>real</h1>")
+        bundle = site.publish()
+        address = bundle.manifest.site_address
+        forged = SiteBundle(
+            manifest=bundle.manifest,
+            files={"index.html": b"<h1>malware</h1>"},
+        )
+
+        def scenario():
+            # The honest author seeds normally.
+            yield from swarm.seed("author", bundle)
+            # A malicious peer bypasses seed() verification and announces.
+            swarm.register_peer("mallory")
+            swarm._seeding["mallory"][address] = forged
+            yield from tracker.announce("mallory", address)
+            fetched = yield from swarm.visit("visitor", address)
+            return fetched
+
+        fetched = sim.run_process(scenario())
+        # The signed manifest defeats the tampered copy: the visitor ends
+        # up with the authentic files, whichever peer order was tried.
+        assert fetched.files["index.html"] == b"<h1>real</h1>"
+        assert fetched.verify()
+
+    def test_all_seeders_malicious_means_unavailable(self):
+        sim, streams, network, tracker, swarm = make_env(62)
+        site = HostlessSite("attacked-site-2")
+        site.write_file("index.html", b"<h1>real</h1>")
+        bundle = site.publish()
+        address = bundle.manifest.site_address
+        forged = SiteBundle(
+            manifest=bundle.manifest, files={"index.html": b"<h1>bad</h1>"}
+        )
+
+        def scenario():
+            swarm.register_peer("mallory")
+            swarm._seeding["mallory"][address] = forged
+            yield from tracker.announce("mallory", address)
+            try:
+                yield from swarm.visit("visitor", address)
+            except WebAppError:
+                return "unavailable-but-never-fooled"
+
+        assert sim.run_process(scenario()) == "unavailable-but-never-fooled"
+        assert swarm.monitor.counters.get("bad_bundles_rejected") >= 1
