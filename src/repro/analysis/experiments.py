@@ -248,7 +248,7 @@ def _social_point(
     sim = Simulator()
     streams = RngStreams(seed)
     network = Network(sim, streams, latency=ConstantLatency(0.02))
-    rng = streams.stream("probes")
+    rng = streams.stream("analysis.probes")
     graph = small_world(n_users, k=4, rewire_prob=0.2, seed=seed, prefix="u")
     users = sorted(graph.nodes)
 
@@ -614,7 +614,7 @@ def _proof_economics_point(
             )
             if behaviour.startswith("drop_half"):
                 provider.drop_chunks(
-                    blob.merkle_root, 0.5, streams.stream("drop")
+                    blob.merkle_root, 0.5, streams.stream("analysis.drop")
                 )
         for _ in range(epochs):
             yield from market.run_epoch()
@@ -770,7 +770,7 @@ def _quality_point(
     )
     attach_churn(sim, streams, [p.node for p in providers], profile)
     blob = make_random_blob(streams, blob_kib * 1024, chunk_size=1024)
-    rng = streams.stream("probe-times")
+    rng = streams.stream("analysis.probe_times")
     outcome = {"ok": 0, "attempts": 0}
 
     def scenario():
@@ -859,7 +859,7 @@ def run_moderation_comparison(
     )
     from repro.sim.rng import RngStreams as _Streams
 
-    rng = _Streams(seed).stream("moderation")
+    rng = _Streams(seed).stream("analysis.moderation")
     legit_topics = [
         "lunch plans for the team",
         "the new compiler release notes",

@@ -25,6 +25,7 @@ from repro.bench.compare import (
     DEFAULT_TOLERANCE,
     compare_reports,
     render_compare_human,
+    restrict_baseline,
 )
 from repro.bench.harness import DEFAULT_REPETITIONS, run_suite
 from repro.bench.registry import select_benchmarks
@@ -151,6 +152,18 @@ def run_bench_command(args: Any) -> int:
                 with open(args.out, "w", encoding="utf-8") as handle:
                     handle.write(render_bench_json(report) + "\n")
             old = _load_report(args.compare[0]) if args.compare else None
+            if old is not None and (suite is not None
+                                    or args.name_filter is not None):
+                total = len(old.get("benchmarks", []))
+                old = restrict_baseline(old, suite=suite,
+                                        name_filter=args.name_filter)
+                kept = len(old.get("benchmarks", []))
+                if kept != total:
+                    print(
+                        f"bench: baseline restricted to the run selection"
+                        f" ({kept} of {total} benchmark(s) compared)",
+                        file=sys.stderr,
+                    )
             new = report
     except BenchError as exc:
         print(f"bench: {exc}", file=sys.stderr)

@@ -31,6 +31,7 @@ __all__ = [
     "CompareFinding",
     "compare_reports",
     "render_compare_human",
+    "restrict_baseline",
 ]
 
 #: Allowed relative wall-clock growth before a benchmark counts as a
@@ -72,6 +73,29 @@ def _work_drift(
             regression=True,
         ))
     return findings
+
+
+def restrict_baseline(
+    old: Dict[str, Any],
+    suite: "str | None" = None,
+    name_filter: "str | None" = None,
+) -> Dict[str, Any]:
+    """The baseline report narrowed to one run-selection.
+
+    When ``--suite``/``--filter`` restrict what the new run executes, a
+    full-suite baseline would otherwise flag every unexecuted benchmark
+    as "missing" — a false regression.  This keeps the missing-benchmark
+    check meaningful by comparing like against like: only baseline
+    entries the selection *would have run* survive.
+    """
+    benchmarks = [
+        b for b in old.get("benchmarks", [])
+        if (suite is None or b.get("suite") == suite)
+        and (name_filter is None or name_filter in b.get("name", ""))
+    ]
+    restricted = dict(old)
+    restricted["benchmarks"] = benchmarks
+    return restricted
 
 
 def compare_reports(

@@ -26,6 +26,7 @@ __all__ = [
     "bench_cohort_step",
     "bench_engine_schedule_fire_cancel",
     "bench_histogram_observe_merge",
+    "bench_lint_index",
     "bench_rng_stream_draw",
     "bench_rpc_roundtrip",
     "bench_transport_send_deliver",
@@ -41,6 +42,8 @@ _RPC_ROUNDS = 400
 _RNG_DRAWS_PER_STREAM = 20000
 _HIST_SHARDS = 6
 _HIST_OBSERVATIONS_PER_SHARD = 1500
+_LINT_HELPERS = 12
+_LINT_SIM_MODULES = 84
 
 
 def _noop() -> None:
@@ -164,3 +167,106 @@ def bench_histogram_observe_merge(metrics: Metrics) -> None:
     metrics.inc("bench.hist_p99_checksum", int(summary["p99"] * 1e6))
     if summary.get("merged_truncated"):
         metrics.inc("bench.hist_merged_truncated")
+
+
+def _synthetic_lint_tree() -> "dict[str, str]":
+    """A deterministic in-memory project for the lint-index benchmark.
+
+    Mixes hazard helpers (wall clock, global RNG), simulated modules
+    whose call chains reach them, stream-name collisions, an f-string
+    stream family, and one import cycle — so every project rule does
+    real work.  Pure function of the constants: identical sources (and
+    therefore identical finding counts) on every run.
+    """
+    sources = {}
+    for i in range(_LINT_HELPERS):
+        if i % 4 == 0:
+            body = "    return time.perf_counter()"
+        elif i % 4 == 1:
+            body = "    return random.random()"
+        else:
+            body = f"    return {i} * 3 + 1"
+        sources[f"src/repro/analysis/helper_{i}.py"] = "\n".join([
+            "import random",
+            "import time",
+            "",
+            "",
+            f"def util_{i}():",
+            body,
+            "",
+            "",
+            f"def lookup_{i}(x):",
+            f"    return util_{i}() if x else {i}",
+            "",
+        ])
+    for i in range(_LINT_SIM_MODULES):
+        helper = i % _LINT_HELPERS
+        if i % 6 == 5:
+            draw = (f"    rng = seeded_rng(seed,"
+                    f" f\"sim.mod{i}.{{x}}\")")
+        else:
+            draw = f"    rng = seeded_rng(seed, \"sim.mod{i}.draw\")"
+        lines = [
+            f"from repro.analysis.helper_{helper} import lookup_{helper}",
+            "from repro.sim.rng import seeded_rng",
+            "",
+            "",
+            f"def step_{i}(x):",
+            f"    return lookup_{helper}(x)",
+            "",
+            "",
+            f"def draw_{i}(seed, x=0):",
+            draw,
+            "    return rng.random()",
+            "",
+        ]
+        if i % 6 == 0:
+            lines += [
+                "",
+                f"def shared_{i}(streams):",
+                "    return streams.stream(\"collide\")",
+                "",
+            ]
+        sources[f"src/repro/sim/mod_{i}.py"] = "\n".join(lines)
+    sources["src/repro/analysis/cyc_a.py"] = (
+        "from repro.analysis import cyc_b\n\n\n"
+        "def spin_a():\n    return cyc_b.spin_b()\n"
+    )
+    sources["src/repro/analysis/cyc_b.py"] = (
+        "import repro.analysis.cyc_a\n\n\n"
+        "def spin_b():\n    return 1\n"
+    )
+    return sources
+
+
+@register_benchmark(
+    "micro.lint.index", "micro",
+    "whole-program lint: fragments, call graph, and project rules over"
+    " a synthetic 98-module tree",
+)
+def bench_lint_index(metrics: Metrics) -> None:
+    import ast
+
+    from repro.lint.engine import ProjectRule, all_rules
+    from repro.lint.index import ProjectIndex, build_fragment
+
+    sources = _synthetic_lint_tree()
+    fragments = [
+        build_fragment(path, source, ast.parse(source))
+        for path, source in sorted(sources.items())
+    ]
+    index = ProjectIndex(fragments)
+    edge_total = sum(
+        len(index.call_edges(qname)) for qname in sorted(index.functions)
+    )
+    finding_total = 0
+    for rule in all_rules():
+        if isinstance(rule, ProjectRule):
+            finding_total += sum(1 for _ in rule.check_project(index))
+    # All four counters are pure functions of the synthetic tree: any
+    # drift in fragment extraction, call-graph resolution, or the rule
+    # pack shows up as a work-counter regression in compare().
+    metrics.inc("bench.lint_files", len(fragments))
+    metrics.inc("bench.lint_functions", len(index.functions))
+    metrics.inc("bench.lint_call_edges", edge_total)
+    metrics.inc("bench.lint_findings", finding_total)

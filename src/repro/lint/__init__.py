@@ -27,6 +27,21 @@ Rules (see ``docs/LINTING.md`` for the full catalog and rationale):
 * **BEN001** — no host-clock reads inside ``repro/bench/`` benchmark
   bodies; only ``repro/bench/harness.py`` times.
 
+Whole-program rules (checked over the :class:`ProjectIndex` built from
+*all* linted files, not one file at a time):
+
+* **DET005** — no RNG stream-name collisions: the same stream name
+  constructed at two sites that can share a seed root means correlated
+  draws; generic undotted names are flagged pre-emptively.
+* **DET006** — transitive determinism: functions in the simulated
+  packages must not reach wall-clock or global-RNG calls through helper
+  modules the per-file rules cannot see.
+* **ORD001** — no iteration over ``set``/``frozenset`` values in
+  simulated packages (per-file, ships with the whole-program pack).
+* **IMP001** — no import cycles over the resolved module-level import
+  graph (lazy and ``TYPE_CHECKING`` imports are the sanctioned
+  break patterns).
+
 Suppress a finding on one line with ``# repro: noqa[RULE001]`` (comma
 list allowed; bare ``# repro: noqa`` suppresses every rule on the line).
 
@@ -40,8 +55,11 @@ Command line::
     python -m repro lint [--format json] [--rules DET001,...] [paths...]
 """
 
+from repro.lint.cache import LintCache
 from repro.lint.engine import (
     LintContext,
+    LintStats,
+    ProjectRule,
     Rule,
     all_rules,
     lint_file,
@@ -50,6 +68,7 @@ from repro.lint.engine import (
     resolve_rules,
 )
 from repro.lint.findings import Finding
+from repro.lint.index import ModuleFragment, ProjectIndex, build_fragment
 from repro.lint.reporters import render_human, render_json
 
 # Importing the rule modules registers their rules with the engine.
@@ -59,12 +78,19 @@ from repro.lint import rules_determinism  # noqa: F401
 from repro.lint import rules_errors  # noqa: F401
 from repro.lint import rules_faults  # noqa: F401
 from repro.lint import rules_parallel  # noqa: F401
+from repro.lint import rules_project  # noqa: F401
 
 __all__ = [
     "Finding",
+    "LintCache",
     "LintContext",
+    "LintStats",
+    "ModuleFragment",
+    "ProjectIndex",
+    "ProjectRule",
     "Rule",
     "all_rules",
+    "build_fragment",
     "lint_file",
     "lint_paths",
     "lint_source",

@@ -1,0 +1,116 @@
+"""On-disk incremental cache for the lint driver.
+
+Whole-program linting re-parses every file on every run; for an
+unchanged tree that work is pure waste.  :class:`LintCache` stores, per
+file, the post-suppression per-file findings *and* the serialized
+:class:`~repro.lint.index.ModuleFragment` (plus the noqa map project
+findings are filtered through), keyed by::
+
+    sha256(cache schema, rule-pack version, path, selected per-file
+           rule ids, file content)
+
+so any content edit, rule-selection change, or rule-pack version bump
+misses cleanly.  Project rules are *never* cached — they always
+recompute over the fragments, which is what makes warm and cold runs
+byte-identical: per-file findings are replayed from the entry, and the
+fragments the project rules see are round-tripped copies of what a cold
+parse would have produced.
+
+Entries are one JSON file each under the cache directory (default
+``.repro_lint_cache``, or ``$REPRO_LINT_CACHE_DIR``), written atomically
+via a temp file and :func:`os.replace`.  A corrupt or schema-mismatched
+entry is treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+__all__ = ["CACHE_DIR_ENV", "DEFAULT_CACHE_DIR", "LINT_CACHE_SCHEMA",
+           "LintCache"]
+
+#: Bump when the entry layout changes.
+LINT_CACHE_SCHEMA = 1
+
+#: Environment override for the cache location.
+CACHE_DIR_ENV = "REPRO_LINT_CACHE_DIR"
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_lint_cache"
+
+
+class LintCache:
+    """Content-addressed store of per-file lint results."""
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None):
+        if cache_dir is None:
+            cache_dir = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.cache_dir = Path(cache_dir)
+
+    @staticmethod
+    def key(
+        path: str,
+        source: str,
+        rule_ids: Sequence[str],
+        pack_version: int,
+    ) -> str:
+        """The content hash addressing one file's entry."""
+        hasher = hashlib.sha256()
+        preamble = json.dumps(
+            [LINT_CACHE_SCHEMA, pack_version, path, sorted(rule_ids)],
+            sort_keys=True,
+        )
+        hasher.update(preamble.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(source.encode("utf-8"))
+        return hasher.hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored result for ``key``, or ``None`` on any miss
+        (absent, unreadable, corrupt, or schema-mismatched)."""
+        try:
+            raw = self._entry_path(key).read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            doc = json.loads(raw)
+        except ValueError:
+            return None
+        if not isinstance(doc, dict):
+            return None
+        if doc.get("schema") != LINT_CACHE_SCHEMA:
+            return None
+        result = doc.get("result")
+        if not isinstance(result, dict):
+            return None
+        return result
+
+    def store(self, key: str, result: Dict[str, Any]) -> None:
+        """Persist one file's result atomically; IO errors are swallowed
+        (a cache that cannot write is merely cold, not broken)."""
+        doc = {"schema": LINT_CACHE_SCHEMA, "result": result}
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.cache_dir), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(doc, handle, sort_keys=True)
+                os.replace(tmp_name, self._entry_path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass

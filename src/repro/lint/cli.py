@@ -1,15 +1,28 @@
 """``python -m repro lint``: the linter's command-line front end.
 
 Exit codes: 0 clean, 1 findings, 2 usage error (unknown rule or path).
+
+Linting is incremental by default: per-file results and index fragments
+are cached under ``.repro_lint_cache`` (override with ``--cache-dir`` or
+``$REPRO_LINT_CACHE_DIR``) keyed by content hash and rule-pack version,
+so a warm run of an unchanged tree parses nothing.  ``--no-cache``
+bypasses the cache entirely; ``--jobs`` parses cache misses in parallel.
 """
 
 from __future__ import annotations
 
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
-from repro.lint.engine import LintError, all_rules, lint_paths, resolve_rules
+from repro.lint.cache import LintCache
+from repro.lint.engine import (
+    LintError,
+    LintStats,
+    all_rules,
+    lint_paths,
+    resolve_rules,
+)
 from repro.lint.reporters import render_human, render_json
 
 __all__ = ["add_lint_arguments", "default_lint_path", "run_lint"]
@@ -23,7 +36,7 @@ def default_lint_path() -> str:
     return str(Path(repro.__file__).parent)
 
 
-def add_lint_arguments(parser) -> None:
+def add_lint_arguments(parser: Any) -> None:
     """Attach the lint options to an ``argparse`` (sub)parser."""
     parser.add_argument(
         "paths", nargs="*",
@@ -41,6 +54,19 @@ def add_lint_arguments(parser) -> None:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the incremental cache: parse and check everything",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="incremental cache location (default: .repro_lint_cache,"
+             " or $REPRO_LINT_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parse files with N worker processes (0 = auto, default: 1)",
+    )
 
 
 def _list_rules() -> str:
@@ -51,7 +77,7 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
-def run_lint(args) -> int:
+def run_lint(args: Any) -> int:
     """Execute the lint command from parsed arguments."""
     if args.list_rules:
         print(_list_rules())
@@ -60,9 +86,14 @@ def run_lint(args) -> int:
     if args.rules is not None:
         selection = [r for r in args.rules.split(",") if r.strip()]
     paths: Sequence[str] = args.paths or [default_lint_path()]
+    cache: Optional[LintCache] = None
+    if not args.no_cache:
+        cache = LintCache(args.cache_dir)
+    stats = LintStats()
     try:
         rules = resolve_rules(selection)
-        findings = lint_paths(paths, rules=rules)
+        findings = lint_paths(paths, rules=rules, cache=cache,
+                              jobs=args.jobs, stats=stats)
     except LintError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
@@ -75,4 +106,8 @@ def run_lint(args) -> int:
         else:
             checked = ", ".join(str(p) for p in paths)
             print(f"lint: clean ({len(rules)} rule(s) over {checked})")
+        print(
+            f"lint: {stats.files} file(s), {stats.parsed} parsed,"
+            f" {stats.cache_hits} cached", file=sys.stderr,
+        )
     return 1 if findings else 0

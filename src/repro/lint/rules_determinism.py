@@ -14,37 +14,22 @@ from typing import Iterator, Set, Tuple
 from repro.lint.engine import LintContext, Rule, register
 from repro.lint.findings import Finding
 
+# The scope/alias constants are shared with the whole-program index so
+# the per-file rules and DET005/DET006 can never drift apart.
+from repro.lint.index import (
+    DATETIME_NOW_ATTRS,
+    NUMPY_GENERATOR_CTORS,
+    NUMPY_SEEDED_OK,
+    SIMULATED_PACKAGES,
+    WALL_CLOCK_ATTRS,
+)
+
 __all__ = [
     "RandomOutsideRng",
     "WallClockInSim",
     "NumpyGlobalRandom",
     "UngovernedNumpyGenerator",
 ]
-
-#: Packages whose code runs inside the simulated world (DET002 scope).
-SIMULATED_PACKAGES = ("sim", "net", "chain", "storage", "groupcomm")
-
-#: ``time`` module attributes that read the host clock.
-WALL_CLOCK_ATTRS = frozenset({
-    "time", "time_ns", "monotonic", "monotonic_ns",
-    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
-})
-
-#: ``datetime``/``date`` constructors that read the host clock.
-DATETIME_NOW_ATTRS = frozenset({"now", "utcnow", "today"})
-
-#: ``numpy.random`` members that are explicitly seeded (allowed).
-NUMPY_SEEDED_OK = frozenset({
-    "default_rng", "Generator", "SeedSequence", "PCG64", "Philox",
-    "MT19937", "SFC64", "BitGenerator", "RandomState",
-})
-
-#: ``numpy.random`` generator constructors (DET004 scope): seeded, so
-#: DET003 allows them — but construction belongs in repro/sim/rng.py.
-NUMPY_GENERATOR_CTORS = frozenset({
-    "default_rng", "Generator", "PCG64", "Philox", "MT19937", "SFC64",
-    "RandomState",
-})
 
 
 @register

@@ -1,0 +1,516 @@
+"""Whole-program rules: DET005/DET006/IMP001 (project) and ORD001 (file).
+
+These rules exist because the per-file pack has a blind spot the exact
+shape of one module: two components constructing the *same* RNG stream
+name never appear in one file (DET005), a simulated function reaching
+the wall clock through a helper module is invisible to DET002's
+file-at-a-time scope (DET006), and an import cycle is by definition a
+multi-file property (IMP001).  ORD001 is per-file but ships with the
+pack: iteration order over a ``set`` feeding scheduling or draws is the
+same replay hazard, just intra-module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import LintContext, ProjectRule, Rule, register
+from repro.lint.findings import Finding
+from repro.lint.index import (
+    SIMULATED_PACKAGES,
+    HazardCall,
+    ModuleFragment,
+    ProjectIndex,
+    StreamSite,
+    attr_chain,
+)
+
+__all__ = [
+    "ImportCycle",
+    "SetIterationInSim",
+    "StreamNameCollision",
+    "TransitiveNondeterminism",
+]
+
+
+def _may_share_root(a: StreamSite, b: StreamSite) -> bool:
+    """Two sites can share a seed root unless both roots are known
+    integer literals that differ."""
+    return a.root is None or b.root is None or a.root == b.root
+
+
+@register
+class StreamNameCollision(ProjectRule):
+    rule_id = "DET005"
+    title = "RNG stream name collision or generic stream name"
+    rationale = (
+        "Two sites constructing the same stream name from the same seed"
+        " root draw the *same* sequence — correlated draws, the exact"
+        " federation_homes/selfish_mining bug class DET001 was born"
+        " from. Generic undotted names ('drop', 'probes') are"
+        " collisions waiting to happen; use dotted component-prefixed"
+        " names ('analysis.drop')."
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        sites: List[Tuple[ModuleFragment, StreamSite]] = [
+            (fragment, site)
+            for fragment, site in index.stream_sites()
+            if not fragment.is_module("sim", "rng.py")
+        ]
+        sites.sort(key=lambda pair: (pair[0].path, pair[1].line, pair[1].col))
+        exact_by_name: Dict[str, List[Tuple[ModuleFragment, StreamSite]]] = {}
+        families: List[Tuple[ModuleFragment, StreamSite]] = []
+        for fragment, site in sites:
+            if site.exact:
+                exact_by_name.setdefault(site.prefix, []).append(
+                    (fragment, site)
+                )
+            elif site.prefix:
+                families.append((fragment, site))
+
+        for fragment, site in sites:
+            finding = self._check_site(
+                fragment, site, exact_by_name, families
+            )
+            if finding is not None:
+                yield finding
+
+    def _check_site(
+        self,
+        fragment: ModuleFragment,
+        site: StreamSite,
+        exact_by_name: Dict[str, List[Tuple[ModuleFragment, StreamSite]]],
+        families: List[Tuple[ModuleFragment, StreamSite]],
+    ) -> Optional[Finding]:
+        if site.exact:
+            name = site.prefix
+            for other_fragment, other in exact_by_name.get(name, ()):
+                if other is site:
+                    continue
+                if (other_fragment.path, other.line, other.col) == (
+                    fragment.path, site.line, site.col
+                ):
+                    continue
+                if _may_share_root(site, other):
+                    return Finding(
+                        self.rule_id, fragment.path, site.line, site.col,
+                        f"stream name '{name}' is also constructed at"
+                        f" {other_fragment.path}:{other.line} and the two"
+                        " sites can share a seed root; identical names"
+                        " mean identical draws — prefix each with its"
+                        " component (e.g. '<component>.<stream>')",
+                    )
+            for family_fragment, family in families:
+                if name.startswith(family.prefix) and _may_share_root(
+                    site, family
+                ):
+                    return Finding(
+                        self.rule_id, fragment.path, site.line, site.col,
+                        f"stream name '{name}' falls inside the dynamic"
+                        f" stream family '{family.prefix}*' constructed at"
+                        f" {family_fragment.path}:{family.line}; a runtime"
+                        " value there can collide with this name — rename"
+                        " one side",
+                    )
+            if "." not in name:
+                return Finding(
+                    self.rule_id, fragment.path, site.line, site.col,
+                    f"generic stream name '{name}'; use a dotted,"
+                    f" component-prefixed name (e.g. '<component>.{name}')"
+                    " so independent subsystems cannot silently share a"
+                    " stream",
+                )
+            return None
+        if site.prefix and "." not in site.prefix:
+            return Finding(
+                self.rule_id, fragment.path, site.line, site.col,
+                f"dynamic stream family with generic prefix"
+                f" '{site.prefix}*'; start the f-string with a dotted"
+                " component prefix (e.g. '<component>.<stream>.') so the"
+                " family cannot overlap other subsystems' names",
+            )
+        return None
+
+
+@register
+class TransitiveNondeterminism(ProjectRule):
+    rule_id = "DET006"
+    title = "simulated code reaching wall clock / global RNG transitively"
+    rationale = (
+        "DET001-DET003 check one file at a time, so a simulated function"
+        " calling a helper in analysis/ or util/ that reads time.time()"
+        " or random.random() passes the per-file pack untouched. The"
+        " call-graph closure closes that hole: simulated code must stay"
+        " on the simulator clock and named streams no matter how many"
+        " hops the hazard hides behind."
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        routes = index.hazard_routes()
+        for fragment in index.fragments:
+            if index.modules[fragment.module] is not fragment:
+                continue
+            if not fragment.in_package(*SIMULATED_PACKAGES):
+                continue
+            if fragment.is_module("sim", "rng.py"):
+                continue
+            for info in fragment.functions:
+                qname = f"{fragment.module}.{info.qname}"
+                hop = routes.get(qname)
+                if hop is None:
+                    continue
+                _, endpoint, hazard = hop
+                chain = index.hazard_chain(qname, routes)
+                kind = ("wall-clock" if hazard.kind == "wall_clock"
+                        else "global-RNG")
+                yield Finding(
+                    self.rule_id, fragment.path, info.line, info.col,
+                    f"'{info.qname}' reaches {kind} call"
+                    f" '{hazard.detail}' in non-simulated code via"
+                    f" {' -> '.join(chain)}; simulated code must use the"
+                    " simulator clock / named streams even through"
+                    " helpers",
+                )
+
+
+@register
+class ImportCycle(ProjectRule):
+    rule_id = "IMP001"
+    title = "import cycle between indexed modules"
+    rationale = (
+        "Import cycles make module initialization order-dependent:"
+        " which half-initialized module you observe depends on the"
+        " entry point, the classic source of 'works from the CLI, fails"
+        " from tests' bugs. Break cycles with a lazy (function-scoped)"
+        " import or an 'if TYPE_CHECKING:' guard — both are excluded"
+        " from this graph on purpose."
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        graph = index.import_graph()
+        for scc in _strongly_connected(graph):
+            if len(scc) < 2:
+                continue
+            members = sorted(scc)
+            head = members[0]
+            cycle = _cycle_order(graph, head, scc)
+            fragment = index.modules[head]
+            line = min(
+                (edge_line for target, edge_line in graph.get(head, [])
+                 if target in scc),
+                default=1,
+            )
+            yield Finding(
+                self.rule_id, fragment.path, line, 0,
+                "import cycle: " + " -> ".join(cycle + [head]) + "; break"
+                " it with a lazy (function-scoped) import or an"
+                " 'if TYPE_CHECKING:' guard",
+            )
+
+
+def _strongly_connected(
+    graph: Dict[str, List[Tuple[str, int]]]
+) -> List[Set[str]]:
+    """Tarjan's algorithm, iterative, deterministic over sorted nodes."""
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Set[str]] = []
+    counter = [0]
+
+    def neighbors(node: str) -> List[str]:
+        return sorted({t for t, _ in graph.get(node, []) if t in graph})
+
+    for root in sorted(graph):
+        if root in index_of:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index_of[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = neighbors(node)
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in index_of:
+                    work.append((node, child_index))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            if lowlink[node] == index_of[node]:
+                scc: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.add(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+def _cycle_order(
+    graph: Dict[str, List[Tuple[str, int]]], head: str, scc: Set[str]
+) -> List[str]:
+    """A deterministic walk through the SCC starting at ``head``."""
+    order = [head]
+    seen = {head}
+    current = head
+    while True:
+        nxt = min(
+            (t for t, _ in graph.get(current, [])
+             if t in scc and t not in seen),
+            default=None,
+        )
+        if nxt is None:
+            break
+        order.append(nxt)
+        seen.add(nxt)
+        current = nxt
+    order.extend(sorted(scc - seen))
+    return order
+
+
+#: Methods on a set that return another set.
+_SET_RETURNING_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+
+#: Builtins that consume iteration order (conversions keep the arbitrary
+#: order; ``sorted``/``min``/``max``/``sum``/``len`` and membership do
+#: not depend on it).
+_ORDER_SENSITIVE_BUILTINS = frozenset({"list", "tuple", "enumerate"})
+
+#: Builtins whose *result* does not depend on iteration order, so a
+#: comprehension feeding them directly is harmless even over a set.
+_ORDER_INSENSITIVE_CONSUMERS = frozenset({
+    "any", "all", "sum", "min", "max", "sorted", "len", "set", "frozenset",
+})
+
+
+@register
+class SetIterationInSim(Rule):
+    rule_id = "ORD001"
+    title = "iteration over a set in a simulated package"
+    rationale = (
+        "Set iteration order depends on insertion history and string"
+        " hashing; when it feeds scheduling or draws, two runs of the"
+        " 'same' experiment diverge. Iterate sorted(...) or keep an"
+        " ordered container (dict keys preserve insertion order);"
+        " membership tests, len(), and sorted()/min()/max() are fine."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_package(*SIMULATED_PACKAGES):
+            return
+        for scope_node, set_names, set_attrs in _iter_scopes(ctx.tree):
+            yield from self._check_scope(ctx, scope_node, set_names,
+                                         set_attrs)
+
+    def _check_scope(
+        self,
+        ctx: LintContext,
+        body: Sequence[ast.stmt],
+        set_names: Set[str],
+        set_attrs: Set[str],
+    ) -> Iterator[Finding]:
+        def is_set(expr: ast.expr) -> bool:
+            return _is_set_expr(expr, set_names, set_attrs)
+
+        # Comprehensions handed straight to an order-insensitive
+        # consumer (any(x in s for ...), sum(...), min(...)) cannot leak
+        # set order into results; exempt them.
+        exempt: Set[int] = set()
+        for node in _walk_scope(body):
+            if isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                if len(chain) == 1 and chain[0] in (
+                    _ORDER_INSENSITIVE_CONSUMERS
+                ):
+                    exempt.update(id(arg) for arg in node.args)
+
+        for node in _walk_scope(body):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if is_set(node.iter):
+                    yield self._finding(ctx, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                # (a set comprehension *over* a set keeps orderlessness,
+                # so ast.SetComp is deliberately not in this list)
+                if id(node) in exempt:
+                    continue
+                for generator in node.generators:
+                    if is_set(generator.iter):
+                        yield self._finding(ctx, generator.iter)
+            elif isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                if (
+                    len(chain) == 1
+                    and chain[0] in _ORDER_SENSITIVE_BUILTINS
+                    and node.args
+                    and is_set(node.args[0])
+                ):
+                    yield self._finding(ctx, node.args[0])
+
+    def _finding(self, ctx: LintContext, expr: ast.expr) -> Finding:
+        label = ""
+        if isinstance(expr, ast.Name):
+            label = f" '{expr.id}'"
+        else:
+            chain = attr_chain(expr)
+            if chain:
+                label = f" '{'.'.join(chain)}'"
+        return ctx.finding(
+            self.rule_id, expr,
+            f"iteration over set{label} in simulated code; set order is"
+            " not deterministic across runs — iterate sorted(...) or use"
+            " an ordered container",
+        )
+
+
+def _iter_scopes(
+    tree: ast.Module,
+) -> Iterator[Tuple[Sequence[ast.stmt], Set[str], Set[str]]]:
+    """Yield (body, set-valued names, set-valued self attrs) per scope.
+
+    Module scope first, then every function (methods see the set-valued
+    ``self.X`` attributes assigned anywhere in their class).
+    """
+    module_sets = _collect_set_names(tree.body)
+
+    def walk(
+        body: Sequence[ast.stmt], inherited: Set[str], self_attrs: Set[str]
+    ) -> Iterator[Tuple[Sequence[ast.stmt], Set[str], Set[str]]]:
+        for node in _scope_children(body):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local = _collect_set_names(node.body)
+                yield node.body, inherited | local, self_attrs
+                yield from walk(node.body, inherited | local, self_attrs)
+            elif isinstance(node, ast.ClassDef):
+                attrs = _collect_self_set_attrs(node)
+                yield from walk(node.body, inherited, attrs)
+
+    yield tree.body, module_sets, set()
+    yield from walk(tree.body, module_sets, set())
+
+
+def _scope_children(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Function/class definitions belonging to this scope, at any
+    statement nesting depth (inside ``if``/``try``/``with`` blocks) but
+    not inside nested scopes."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            yield node
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _walk_scope(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk one scope's statements without descending into nested
+    function/class scopes (those are visited as their own scopes)."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _collect_set_names(body: Sequence[ast.stmt]) -> Set[str]:
+    """Names assigned a syntactic set in this scope and never re-bound
+    to anything else (conservative: one contrary assignment unmarks)."""
+    sets: Set[str] = set()
+    rebound: Set[str] = set()
+    for node in _walk_scope(body):
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if target is None or not isinstance(target, ast.Name):
+            continue
+        assert value is not None
+        if _is_syntactic_set(value):
+            sets.add(target.id)
+        else:
+            rebound.add(target.id)
+    return sets - rebound
+
+
+def _collect_self_set_attrs(cls: ast.ClassDef) -> Set[str]:
+    attrs: Set[str] = set()
+    rebound: Set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Attribute) and isinstance(
+                target.value, ast.Name
+            ) and target.value.id == "self":
+                if _is_syntactic_set(node.value):
+                    attrs.add(target.attr)
+                else:
+                    rebound.add(target.attr)
+    return attrs - rebound
+
+
+def _is_syntactic_set(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        chain = attr_chain(expr.func)
+        if len(chain) == 1 and chain[0] in ("set", "frozenset"):
+            return True
+    return False
+
+
+def _is_set_expr(
+    expr: ast.expr, set_names: Set[str], set_attrs: Set[str]
+) -> bool:
+    if _is_syntactic_set(expr):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in set_names
+    chain = attr_chain(expr)
+    if len(chain) == 2 and chain[0] == "self" and chain[1] in set_attrs:
+        return True
+    if isinstance(expr, ast.Call):
+        func_chain = attr_chain(expr.func)
+        if len(func_chain) >= 2 and func_chain[-1] in (
+            _SET_RETURNING_METHODS
+        ):
+            receiver: ast.expr = expr.func
+            while isinstance(receiver, ast.Attribute):
+                receiver = receiver.value
+            if isinstance(receiver, ast.Name) and (
+                receiver.id in set_names
+            ):
+                return True
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        return (
+            _is_set_expr(expr.left, set_names, set_attrs)
+            or _is_set_expr(expr.right, set_names, set_attrs)
+        )
+    return False

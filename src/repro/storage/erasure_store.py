@@ -64,7 +64,7 @@ class ErasureBlobStore:
         self._health: Dict[str, ShardHealth] = {}
         self._originals: Dict[str, bytes] = {}  # content id -> original bytes
         self._running = False
-        self._rng = streams.stream("erasure-store")
+        self._rng = streams.stream("storage.erasure_store")
 
     # -- shard transport --------------------------------------------------------
 

@@ -57,7 +57,7 @@ class StorageMarketplace:
         self.monitor = Monitor()
         self._providers: Dict[str, StorageProvider] = {}
         self._deals: Dict[str, StorageDeal] = {}
-        self._rng = streams.stream("marketplace")
+        self._rng = streams.stream("storage.marketplace")
 
     # -- registry ------------------------------------------------------------
 

@@ -67,7 +67,7 @@ class ReplicatedBlobStore:
         self._blobs: Dict[str, DataBlob] = {}  # only for initial upload
         self._health: Dict[str, BlobHealth] = {}
         self._running = False
-        self._rng = streams.stream("replication")
+        self._rng = streams.stream("storage.replication")
 
     # -- placement ------------------------------------------------------------
 

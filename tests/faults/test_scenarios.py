@@ -89,7 +89,7 @@ class TestE9DeviceFlap:
         return run("E9", "device-flap", seed=2)
 
     def test_repair_and_availability_pinned(self, report):
-        assert report["result"]["repair_bytes"] == 4096
+        assert report["result"]["repair_bytes"] == 12288
         assert report["result"]["probe_attempts"] == 11
         assert report["result"]["probe_ok"] == 11
         assert report["result"]["availability"] == 1.0

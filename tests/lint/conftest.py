@@ -1,0 +1,13 @@
+"""Shared lint-test setup: keep the incremental cache out of the repo.
+
+``python -m repro lint`` caches by default; without this fixture every
+CLI test would drop a ``.repro_lint_cache`` directory into whatever cwd
+pytest runs from.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_lint_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_LINT_CACHE_DIR", str(tmp_path / "lint-cache"))

@@ -1,0 +1,7 @@
+"""Fixture: IMP001 — module-level import cycle (cycle_a -> cycle_b -> cycle_a)."""
+
+import cycle_b
+
+
+def ping():
+    return cycle_b.pong()

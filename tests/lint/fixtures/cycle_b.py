@@ -1,0 +1,7 @@
+"""Other half of the IMP001 fixture cycle; clean in isolation."""
+
+import cycle_a
+
+
+def pong():
+    return len(cycle_a.__name__)

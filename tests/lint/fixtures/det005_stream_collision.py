@@ -1,0 +1,16 @@
+"""Fixture: DET005 — one stream name constructed at two sites.
+
+Both sites take the root seed as a parameter, so the roots are unknown
+statically and the two streams *can* be built from the same root —
+identical names then mean identical draw sequences.
+"""
+
+from repro.sim.rng import seeded_rng
+
+
+def first_component(seed):
+    return seeded_rng(seed, "pkg.shared").random()
+
+
+def second_component(seed):
+    return seeded_rng(seed, "pkg.shared").random()

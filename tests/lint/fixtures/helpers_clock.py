@@ -1,0 +1,12 @@
+"""Fixture helper: a wall-clock read in a *non-simulated* module.
+
+Clean on its own (DET002 only scopes the simulated packages) — the
+violation appears when simulated code reaches it through the call
+graph; see ``sim/det006_transitive.py``.
+"""
+
+import time
+
+
+def read_clock():
+    return time.perf_counter()

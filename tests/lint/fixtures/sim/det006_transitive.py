@@ -1,0 +1,12 @@
+"""Fixture: DET006 — simulated code reaching the clock via a helper.
+
+No rule fires on this file in isolation: the wall-clock read lives in
+``helpers_clock.py``, outside the simulated packages, where DET002
+cannot see it.  Only the whole-program call graph connects the two.
+"""
+
+from helpers_clock import read_clock
+
+
+def sample_latency():
+    return read_clock()

@@ -1,0 +1,9 @@
+"""Fixture: ORD001 — iterating a set inside a simulated package."""
+
+
+def schedule_batches(node_ids):
+    peers = {node_id for node_id in node_ids}
+    batches = []
+    for peer in peers:
+        batches.append(peer)
+    return batches

@@ -1,0 +1,176 @@
+"""Incremental-cache behavior: hits, invalidation, byte-identical output."""
+
+import json
+
+import pytest
+
+import repro.lint.engine as engine_mod
+from repro.lint import LintCache, LintStats, lint_paths
+from repro.lint.reporters import render_json
+
+DIRTY = (
+    "import random\n"
+    "\n"
+    "def roll():\n"
+    "    return random.random()\n"
+)
+
+CLEAN = (
+    "from repro.sim.rng import seeded_rng\n"
+    "\n"
+    "def roll(seed):\n"
+    "    return seeded_rng(seed, 'demo.roll').random()\n"
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    target = tmp_path / "repro_demo"
+    target.mkdir()
+    (target / "dirty.py").write_text(DIRTY)
+    (target / "clean.py").write_text(CLEAN)
+    return target
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return LintCache(tmp_path / "cache")
+
+
+def run(tree, cache):
+    stats = LintStats()
+    findings = lint_paths([str(tree)], cache=cache, stats=stats)
+    return findings, stats
+
+
+class TestHitsAndMisses:
+    def test_cold_run_misses_then_warm_run_hits(self, tree, cache):
+        _, cold = run(tree, cache)
+        assert cold.files == 2
+        assert cold.parsed == 2
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == 2
+
+        _, warm = run(tree, cache)
+        assert warm.files == 2
+        assert warm.parsed == 0  # nothing re-parsed: the incremental win
+        assert warm.cache_hits == 2
+        assert warm.cache_misses == 0
+
+    def test_warm_findings_are_byte_identical_to_cold(self, tree, cache):
+        cold_findings, _ = run(tree, cache)
+        warm_findings, _ = run(tree, cache)
+        assert render_json(warm_findings) == render_json(cold_findings)
+
+    def test_no_cache_always_parses(self, tree):
+        stats = LintStats()
+        lint_paths([str(tree)], stats=stats)
+        assert stats.parsed == 2
+        assert stats.cache_hits == 0 and stats.cache_misses == 0
+
+
+class TestInvalidation:
+    def test_content_change_invalidates_only_that_file(self, tree, cache):
+        run(tree, cache)
+        (tree / "clean.py").write_text(CLEAN + "\n# touched\n")
+        findings, stats = run(tree, cache)
+        assert stats.parsed == 1
+        assert stats.cache_hits == 1
+        assert stats.cache_misses == 1
+        assert [f.rule_id for f in findings] == ["DET001"]
+
+    def test_pack_version_bump_invalidates_everything(
+        self, tree, cache, monkeypatch
+    ):
+        run(tree, cache)
+        monkeypatch.setattr(
+            engine_mod, "RULE_PACK_VERSION",
+            engine_mod.RULE_PACK_VERSION + 1,
+        )
+        _, stats = run(tree, cache)
+        assert stats.parsed == 2
+        assert stats.cache_hits == 0
+
+    def test_rule_selection_is_part_of_the_key(self, tree, cache):
+        from repro.lint import resolve_rules
+
+        lint_paths([str(tree)], resolve_rules(["DET001"]), cache=cache)
+        stats = LintStats()
+        lint_paths([str(tree)], cache=cache, stats=stats)
+        assert stats.cache_hits == 0  # full pack != DET001-only entries
+
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tree, cache):
+        run(tree, cache)
+        for entry in cache.cache_dir.glob("*.json"):
+            entry.write_text("{ not json")
+        findings, stats = run(tree, cache)
+        assert stats.parsed == 2
+        assert stats.cache_hits == 0
+        assert [f.rule_id for f in findings] == ["DET001"]
+
+    def test_schema_mismatched_entry_is_a_miss(self, tree, cache):
+        run(tree, cache)
+        for entry in cache.cache_dir.glob("*.json"):
+            doc = json.loads(entry.read_text())
+            doc["schema"] = -1
+            entry.write_text(json.dumps(doc))
+        _, stats = run(tree, cache)
+        assert stats.cache_hits == 0
+
+
+class TestProjectRulesOverCache:
+    def test_project_findings_recompute_from_cached_fragments(self, tmp_path):
+        target = tmp_path / "repro_demo"
+        target.mkdir()
+        (target / "one.py").write_text(
+            "from repro.sim.rng import seeded_rng\n"
+            "def a(seed):\n"
+            "    return seeded_rng(seed, 'pkg.shared')\n"
+        )
+        (target / "two.py").write_text(
+            "from repro.sim.rng import seeded_rng\n"
+            "def b(seed):\n"
+            "    return seeded_rng(seed, 'pkg.shared')\n"
+        )
+        cache = LintCache(tmp_path / "cache")
+        cold = lint_paths([str(target)], cache=cache)
+        stats = LintStats()
+        warm = lint_paths([str(target)], cache=cache, stats=stats)
+        assert stats.parsed == 0
+        assert [f.rule_id for f in cold] == ["DET005", "DET005"]
+        assert render_json(warm) == render_json(cold)
+
+    def test_noqa_map_survives_the_cache(self, tmp_path):
+        # A suppressed project finding must stay suppressed on warm runs,
+        # which requires the noqa map to ride along in the cache entry.
+        target = tmp_path / "repro_demo"
+        target.mkdir()
+        (target / "one.py").write_text(
+            "from repro.sim.rng import seeded_rng\n"
+            "def a(seed):\n"
+            "    return seeded_rng(seed, 'pkg.shared')  # repro: noqa[DET005]\n"
+        )
+        (target / "two.py").write_text(
+            "from repro.sim.rng import seeded_rng\n"
+            "def b(seed):\n"
+            "    return seeded_rng(seed, 'pkg.shared')\n"
+        )
+        cache = LintCache(tmp_path / "cache")
+        cold = lint_paths([str(target)], cache=cache)
+        warm = lint_paths([str(target)], cache=cache)
+        assert render_json(warm) == render_json(cold)
+        assert all("one.py" not in f.path for f in cold)
+
+
+class TestParallelParity:
+    def test_jobs_parallel_matches_serial(self, tree):
+        serial = lint_paths([str(tree)])
+        parallel = lint_paths([str(tree)], jobs=2)
+        assert parallel == serial
+
+    def test_jobs_auto_with_cache(self, tree, cache):
+        stats = LintStats()
+        findings = lint_paths([str(tree)], cache=cache, jobs=0, stats=stats)
+        assert stats.jobs >= 1
+        warm = lint_paths([str(tree)], cache=cache, jobs=0)
+        assert render_json(warm) == render_json(findings)

@@ -45,6 +45,44 @@ class TestLintCommand:
     def test_list_rules_catalog(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("DET001", "DET002", "DET003", "DET004",
-                        "PAR001", "ERR001", "API001"):
+        for rule_id in ("DET001", "DET002", "DET003", "DET004", "DET005",
+                        "DET006", "ORD001", "IMP001", "PAR001", "ERR001",
+                        "API001", "FLT001", "BEN001"):
             assert rule_id in out
+
+    def test_overlapping_paths_report_findings_once(self, capsys):
+        target = str(FIXTURES / "det001_random_import.py")
+        main(["lint", "--format", "json", target])
+        once = json.loads(capsys.readouterr().out)
+        main(["lint", "--format", "json", target, target])
+        twice = json.loads(capsys.readouterr().out)
+        assert twice["findings"] == once["findings"]
+
+    def test_no_cache_flag_disables_the_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = ["lint", "--cache-dir", str(cache_dir), "--no-cache",
+                str(FIXTURES / "clean.py")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert not cache_dir.exists()
+
+    def test_cache_dir_flag_populates_and_reuses(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        args = ["lint", "--cache-dir", str(cache_dir),
+                str(FIXTURES / "clean.py")]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert cache_dir.exists() and any(cache_dir.iterdir())
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "1 cached" in warm.err
+
+    def test_jobs_flag_matches_serial_output(self, capsys):
+        main(["lint", "--format", "json", "--jobs", "1", str(FIXTURES)])
+        serial = capsys.readouterr().out
+        code = main(["lint", "--format", "json", "--jobs", "2",
+                     str(FIXTURES)])
+        parallel = capsys.readouterr().out
+        assert code == 1
+        assert parallel == serial

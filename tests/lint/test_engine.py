@@ -15,11 +15,22 @@ EXPECTED_FIXTURE_RULES = {
     "sim/wall_clock.py": {"DET002"},
     "det003_numpy_global.py": {"DET003"},
     "det004_ungoverned_generator.py": {"DET004"},
+    "det005_stream_collision.py": {"DET005"},
+    "sim/ord001_set_iteration.py": {"ORD001"},
     "par001_lambda_to_pool.py": {"PAR001"},
     "err001_broad_except.py": {"ERR001"},
     "api001_all_mismatch.py": {"API001"},
     "bench/ben001_timed_body.py": {"BEN001"},
 }
+
+# Multi-file fixtures: each file is clean in isolation — the violation
+# only exists in the whole-program view (see test_project_rules.py).
+CLEAN_IN_ISOLATION = (
+    "helpers_clock.py",
+    "sim/det006_transitive.py",
+    "cycle_a.py",
+    "cycle_b.py",
+)
 
 
 class TestFixtures:
@@ -36,18 +47,29 @@ class TestFixtures:
     def test_rng_location_fixture_is_exempt_from_det001(self):
         assert lint_file(str(FIXTURES / "sim" / "rng.py")) == []
 
+    @pytest.mark.parametrize("relpath", CLEAN_IN_ISOLATION)
+    def test_project_fixtures_are_clean_per_file(self, relpath):
+        assert lint_file(str(FIXTURES / relpath)) == []
+
     def test_directory_walk_finds_every_fixture_violation(self):
         findings = lint_paths([str(FIXTURES)])
         found_rules = {f.rule_id for f in findings}
         assert found_rules == {
-            "DET001", "DET002", "DET003", "DET004", "PAR001", "ERR001",
-            "API001", "FLT001", "BEN001",
+            "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
+            "ORD001", "IMP001", "PAR001", "ERR001", "API001", "FLT001",
+            "BEN001",
         }
 
     def test_findings_sorted_by_path_then_line(self):
         findings = lint_paths([str(FIXTURES)])
         keys = [f.sort_key() for f in findings]
         assert keys == sorted(keys)
+
+    def test_overlapping_paths_report_each_finding_once(self):
+        once = lint_paths([str(FIXTURES)])
+        twice = lint_paths([str(FIXTURES), str(FIXTURES / "sim"),
+                            str(FIXTURES / "det001_random_import.py")])
+        assert twice == once
 
 
 class TestSuppression:
@@ -73,6 +95,16 @@ class TestSuppression:
 
     def test_suppressed_fixture_is_clean(self):
         assert lint_file(str(FIXTURES / "suppressed.py")) == []
+
+    def test_marker_inside_string_literal_does_not_suppress(self):
+        # The marker text is data, not a comment: tokenize-based
+        # suppression must not treat it as a noqa directive.
+        src = 'import random; MSG = "use # repro: noqa sparingly"\n'
+        assert [f.rule_id for f in lint_source(src)] == ["DET001"]
+
+    def test_real_comment_after_marker_like_string_still_suppresses(self):
+        src = 'import random; M = "# repro: noqa[X]"  # repro: noqa[DET001]\n'
+        assert lint_source(src) == []
 
 
 class TestSelection:

@@ -1,0 +1,327 @@
+"""Unit tests for the whole-program index (repro.lint.index)."""
+
+import ast
+import json
+
+from repro.lint.index import (
+    ModuleFragment,
+    ProjectIndex,
+    build_fragment,
+    _module_identity,
+)
+
+
+def fragment(path, source):
+    return build_fragment(path, source, ast.parse(source))
+
+
+def make_index(files):
+    """files: {path: source} -> ProjectIndex."""
+    return ProjectIndex([fragment(p, s) for p, s in files.items()])
+
+
+class TestModuleIdentity:
+    def test_repro_tree_paths_are_rooted_at_repro(self):
+        module, package, is_pkg, _ = _module_identity(
+            "/checkout/src/repro/sim/rng.py"
+        )
+        assert module == "repro.sim.rng"
+        assert package == "repro.sim"
+        assert not is_pkg
+
+    def test_package_init_names_the_package_itself(self):
+        module, package, is_pkg, _ = _module_identity(
+            "/checkout/src/repro/net/__init__.py"
+        )
+        assert module == "repro.net"
+        assert package == "repro"
+        assert is_pkg
+
+    def test_nested_repro_component_uses_the_last_one(self):
+        module, _, _, _ = _module_identity(
+            "/home/repro/work/src/repro/chain/ledger.py"
+        )
+        assert module == "repro.chain.ledger"
+
+    def test_bare_file_is_its_own_module(self, tmp_path):
+        target = tmp_path / "loose.py"
+        target.write_text("x = 1\n")
+        module, package, is_pkg, _ = _module_identity(str(target))
+        assert module == "loose"
+        assert package == ""
+        assert not is_pkg
+
+    def test_package_markers_extend_the_dotted_name(self, tmp_path):
+        pkg = tmp_path / "mypkg" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "mypkg" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        target = pkg / "mod.py"
+        target.write_text("x = 1\n")
+        module, package, _, _ = _module_identity(str(target))
+        assert module == "mypkg.sub.mod"
+        assert package == "mypkg.sub"
+
+
+class TestImportResolution:
+    def test_plain_and_aliased_imports(self):
+        frag = fragment("repro/net/a.py", (
+            "import repro.sim.rng\n"
+            "import repro.util as u\n"
+        ))
+        assert frag.module_aliases["repro.sim.rng"] == "repro.sim.rng"
+        assert frag.module_aliases["u"] == "repro.util"
+        assert sorted(m for m, _ in frag.runtime_imports) == [
+            "repro.sim.rng", "repro.util",
+        ]
+
+    def test_from_import_records_symbols(self):
+        frag = fragment("repro/net/a.py", (
+            "from repro.sim.rng import seeded_rng as sr, RngStreams\n"
+        ))
+        assert frag.symbol_imports["sr"] == ("repro.sim.rng", "seeded_rng")
+        assert frag.symbol_imports["RngStreams"] == (
+            "repro.sim.rng", "RngStreams"
+        )
+
+    def test_relative_import_resolves_against_the_package(self):
+        frag = fragment("repro/net/churn.py", (
+            "from .gossip import fanout\n"
+            "from ..sim import rng\n"
+        ))
+        assert frag.symbol_imports["fanout"] == ("repro.net.gossip", "fanout")
+        assert frag.symbol_imports["rng"] == ("repro.sim", "rng")
+
+    def test_relative_import_from_package_init(self):
+        frag = fragment("repro/net/__init__.py", "from .churn import renew\n")
+        assert frag.symbol_imports["renew"] == ("repro.net.churn", "renew")
+
+    def test_type_checking_imports_are_not_runtime(self):
+        frag = fragment("repro/net/a.py", (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    import repro.storage.proofs\n"
+        ))
+        targets = [m for m, _ in frag.runtime_imports]
+        assert "repro.storage.proofs" not in targets
+        # ... but the alias is still recorded for call resolution.
+        assert "repro.storage.proofs" in frag.module_aliases
+
+    def test_function_body_imports_are_lazy(self):
+        frag = fragment("repro/net/a.py", (
+            "def late():\n"
+            "    import repro.storage.proofs\n"
+        ))
+        assert frag.runtime_imports == []
+        assert "repro.storage.proofs" in frag.module_aliases
+
+    def test_import_graph_resolves_symbol_import_to_submodule(self):
+        index = make_index({
+            "repro/net/__init__.py": "",
+            "repro/net/churn.py": "x = 1\n",
+            "repro/chain/a.py": "from repro.net import churn\n",
+        })
+        graph = index.import_graph()
+        assert [m for m, _ in graph["repro.chain.a"]] == [
+            "repro.net", "repro.net.churn",
+        ]
+
+
+class TestCallGraph:
+    def test_local_and_symbol_imported_calls(self):
+        index = make_index({
+            "repro/util/helpers.py": "def helper():\n    return 1\n",
+            "repro/net/a.py": (
+                "from repro.util.helpers import helper\n"
+                "def local():\n    return 2\n"
+                "def entry():\n    return helper() + local()\n"
+            ),
+        })
+        assert index.call_edges("repro.net.a.entry") == (
+            "repro.net.a.local", "repro.util.helpers.helper",
+        )
+
+    def test_aliased_module_attr_call(self):
+        index = make_index({
+            "repro/util/helpers.py": "def helper():\n    return 1\n",
+            "repro/net/a.py": (
+                "import repro.util.helpers as uh\n"
+                "def entry():\n    return uh.helper()\n"
+            ),
+        })
+        assert index.call_edges("repro.net.a.entry") == (
+            "repro.util.helpers.helper",
+        )
+
+    def test_self_method_call(self):
+        index = make_index({
+            "repro/net/a.py": (
+                "class Node:\n"
+                "    def tick(self):\n        return self.renew()\n"
+                "    def renew(self):\n        return 1\n"
+            ),
+        })
+        assert index.call_edges("repro.net.a.Node.tick") == (
+            "repro.net.a.Node.renew",
+        )
+
+    def test_ctor_chained_method_call(self):
+        index = make_index({
+            "repro/net/b.py": (
+                "class Peer:\n"
+                "    def ping(self):\n        return 1\n"
+            ),
+            "repro/net/a.py": (
+                "from repro.net.b import Peer\n"
+                "def entry():\n    return Peer().ping()\n"
+            ),
+        })
+        assert index.call_edges("repro.net.a.entry") == (
+            "repro.net.b.Peer.ping",
+        )
+
+    def test_method_call_on_unknown_receiver_is_bounded_to_visible_classes(
+        self,
+    ):
+        index = make_index({
+            "repro/net/b.py": (
+                "class Peer:\n"
+                "    def ping(self):\n        return 1\n"
+            ),
+            "repro/net/c.py": (
+                "class Ghost:\n"
+                "    def ping(self):\n        return 2\n"
+            ),
+            "repro/net/a.py": (
+                "from repro.net.b import Peer\n"
+                "def entry(obj):\n    return obj.ping()\n"
+            ),
+        })
+        # Ghost is not imported by a.py, so only Peer.ping is a candidate.
+        assert index.call_edges("repro.net.a.entry") == (
+            "repro.net.b.Peer.ping",
+        )
+
+    def test_hazard_routes_cross_module(self):
+        index = make_index({
+            "repro/util/clock.py": (
+                "import time\n"
+                "def read_clock():\n    return time.perf_counter()\n"
+            ),
+            "repro/sim/driver.py": (
+                "from repro.util.clock import read_clock\n"
+                "def sample():\n    return read_clock()\n"
+            ),
+        })
+        routes = index.hazard_routes()
+        assert "repro.sim.driver.sample" in routes
+        next_hop, endpoint, hazard = routes["repro.sim.driver.sample"]
+        assert endpoint == "repro.util.clock.read_clock"
+        assert hazard.detail == "time.perf_counter"
+        assert index.hazard_chain("repro.sim.driver.sample", routes) == [
+            "repro.sim.driver.sample", "repro.util.clock.read_clock",
+        ]
+
+
+class TestStreamSites:
+    def test_exact_literal_and_root(self):
+        frag = fragment("repro/net/a.py", (
+            "from repro.sim.rng import seeded_rng\n"
+            "def f(seed):\n"
+            "    return seeded_rng(4001, 'net.a.draw')\n"
+        ))
+        (site,) = frag.stream_sites
+        assert site.api == "seeded_rng"
+        assert site.prefix == "net.a.draw"
+        assert site.exact
+        assert site.root == 4001
+
+    def test_fstring_gives_inexact_prefix(self):
+        frag = fragment("repro/net/a.py", (
+            "from repro.sim.rng import seeded_rng\n"
+            "def f(seed, i):\n"
+            "    return seeded_rng(seed, f'net.a.peer{i}')\n"
+        ))
+        (site,) = frag.stream_sites
+        assert site.prefix == "net.a.peer"
+        assert not site.exact
+        assert site.root is None
+
+    def test_name_indirection_constant_propagates(self):
+        frag = fragment("repro/net/a.py", (
+            "from repro.sim.rng import seeded_rng\n"
+            "STREAM = 'net.a.flow'\n"
+            "def f(seed):\n"
+            "    return seeded_rng(seed, STREAM)\n"
+        ))
+        (site,) = frag.stream_sites
+        assert site.prefix == "net.a.flow"
+        assert site.exact
+
+    def test_rebound_name_is_not_propagated(self):
+        frag = fragment("repro/net/a.py", (
+            "from repro.sim.rng import seeded_rng\n"
+            "def f(seed, flag):\n"
+            "    name = 'net.a.x'\n"
+            "    name = 'net.a.y'\n"
+            "    return seeded_rng(seed, name)\n"
+        ))
+        assert frag.stream_sites == []
+
+    def test_streams_receiver_carries_the_root(self):
+        frag = fragment("repro/net/a.py", (
+            "from repro.sim.rng import RngStreams\n"
+            "def f():\n"
+            "    streams = RngStreams(3001)\n"
+            "    return streams.stream('net.a.jitter')\n"
+        ))
+        (site,) = frag.stream_sites
+        assert site.api == "stream"
+        assert site.root == 3001
+
+    def test_chained_ctor_receiver(self):
+        frag = fragment("repro/net/a.py", (
+            "from repro.sim.rng import RngStreams\n"
+            "def f():\n"
+            "    return RngStreams(7).generator('net.a.noise')\n"
+        ))
+        (site,) = frag.stream_sites
+        assert site.api == "generator"
+        assert site.root == 7
+
+    def test_unrelated_stream_method_is_ignored(self):
+        frag = fragment("repro/net/a.py", (
+            "def f(fh):\n"
+            "    return fh.stream()\n"
+        ))
+        assert frag.stream_sites == []
+
+
+class TestFragmentRoundTrip:
+    SOURCE = (
+        "from repro.sim.rng import seeded_rng\n"
+        "import repro.util.helpers as uh\n"
+        "class Node:\n"
+        "    def tick(self):\n"
+        "        return self.renew() + uh.helper()\n"
+        "    def renew(self):\n"
+        "        return seeded_rng(11, 'net.a.renew').random()\n"
+        "def free():\n"
+        "    import random\n"
+        "    return random.random()\n"
+    )
+
+    def test_round_trip_is_lossless_and_json_safe(self):
+        frag = fragment("repro/net/a.py", self.SOURCE)
+        doc = json.loads(json.dumps(frag.to_dict()))
+        rebuilt = ModuleFragment.from_dict(doc)
+        assert rebuilt == frag
+        assert rebuilt.to_dict() == frag.to_dict()
+
+    def test_rebuilt_fragment_indexes_identically(self):
+        frag = fragment("repro/net/a.py", self.SOURCE)
+        rebuilt = ModuleFragment.from_dict(frag.to_dict())
+        cold = ProjectIndex([frag])
+        warm = ProjectIndex([rebuilt])
+        for qname in cold.functions:
+            assert cold.call_edges(qname) == warm.call_edges(qname)

@@ -1,0 +1,342 @@
+"""Behavior tests for the whole-program rule pack (DET005/DET006/IMP001)
+and the scope-aware set-iteration rule (ORD001)."""
+
+import pytest
+
+from repro.lint import lint_paths, lint_source
+
+
+def write_tree(tmp_path, files):
+    root = tmp_path / "tree"
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return root
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+SEEDED = "from repro.sim.rng import seeded_rng\n"
+
+
+class TestDet005:
+    def test_exact_collision_across_modules(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "alpha.py": SEEDED + "def a(s):\n    return seeded_rng(s, 'pkg.x')\n",
+            "beta.py": SEEDED + "def b(s):\n    return seeded_rng(s, 'pkg.x')\n",
+        })
+        findings = lint_paths([str(root)])
+        assert rule_ids(findings) == ["DET005", "DET005"]
+        assert "pkg.x" in findings[0].message
+
+    def test_distinct_literal_roots_are_exempt(self, tmp_path):
+        # Same name but provably different root seeds: the streams are
+        # keyed apart, so the collision cannot produce correlated draws.
+        root = write_tree(tmp_path, {
+            "alpha.py": SEEDED + "def a():\n    return seeded_rng(1001, 'pkg.x')\n",
+            "beta.py": SEEDED + "def b():\n    return seeded_rng(2002, 'pkg.x')\n",
+        })
+        assert lint_paths([str(root)]) == []
+
+    def test_unknown_root_may_collide_with_known_root(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "alpha.py": SEEDED + "def a():\n    return seeded_rng(1001, 'pkg.x')\n",
+            "beta.py": SEEDED + "def b(s):\n    return seeded_rng(s, 'pkg.x')\n",
+        })
+        assert rule_ids(lint_paths([str(root)])) == ["DET005", "DET005"]
+
+    def test_exact_name_inside_dynamic_family(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "alpha.py": SEEDED + (
+                "def a(s, i):\n"
+                "    return seeded_rng(s, f'pkg.peer{i}')\n"
+            ),
+            "beta.py": SEEDED + (
+                "def b(s):\n"
+                "    return seeded_rng(s, 'pkg.peer7')\n"
+            ),
+        })
+        findings = lint_paths([str(root)])
+        # The exact site collides with the family; the family itself has
+        # a dotted prefix, so only the exact side is flagged.
+        assert rule_ids(findings) == ["DET005"]
+        assert "pkg.peer*" in findings[0].message
+
+    def test_generic_undotted_name(self):
+        src = SEEDED + "def f(s):\n    return seeded_rng(s, 'drop')\n"
+        findings = lint_source(src, path="repro/analysis/x.py")
+        assert rule_ids(findings) == ["DET005"]
+        assert "generic stream name" in findings[0].message
+
+    def test_generic_dynamic_family_prefix(self):
+        src = SEEDED + "def f(s, i):\n    return seeded_rng(s, f'peer{i}')\n"
+        findings = lint_source(src, path="repro/analysis/x.py")
+        assert rule_ids(findings) == ["DET005"]
+        assert "dynamic stream family" in findings[0].message
+
+    def test_dotted_unique_names_are_clean(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "alpha.py": SEEDED + "def a(s):\n    return seeded_rng(s, 'pkg.a')\n",
+            "beta.py": SEEDED + "def b(s):\n    return seeded_rng(s, 'pkg.b')\n",
+        })
+        assert lint_paths([str(root)]) == []
+
+    def test_rng_module_itself_is_exempt(self):
+        src = (
+            "def seeded_rng(seed, name):\n"
+            "    return seeded_rng(seed, name)\n"
+            "def demo(seed):\n"
+            "    return seeded_rng(seed, 'x')\n"
+        )
+        assert lint_source(src, path="repro/sim/rng.py") == []
+
+
+class TestDet006:
+    def test_two_hop_wall_clock_reach(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "repro/util/clockio.py": (
+                "import time\n"
+                "def read_clock():\n    return time.perf_counter()\n"
+            ),
+            "repro/sim/driver.py": (
+                "from repro.util.clockio import read_clock\n"
+                "def sample():\n    return read_clock()\n"
+            ),
+        })
+        findings = lint_paths([str(root)])
+        assert rule_ids(findings) == ["DET006"]
+        assert findings[0].path.endswith("driver.py")
+        assert "time.perf_counter" in findings[0].message
+        assert "sample -> " in findings[0].message
+
+    def test_three_hop_chain_via_aliased_module_call(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "repro/util/clockio.py": (
+                "import time\n"
+                "def read_clock():\n    return time.time()\n"
+            ),
+            "repro/util/mid.py": (
+                "import repro.util.clockio as cio\n"
+                "def relay():\n    return cio.read_clock()\n"
+            ),
+            "repro/net/hopper.py": (
+                "from repro.util.mid import relay\n"
+                "def step():\n    return relay()\n"
+            ),
+        })
+        findings = lint_paths([str(root)])
+        assert rule_ids(findings) == ["DET006"]
+        assert (
+            "repro.net.hopper.step -> repro.util.mid.relay ->"
+            " repro.util.clockio.read_clock" in findings[0].message
+        )
+
+    def test_global_rng_reach_is_also_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "repro/util/noise.py": (
+                "import random\n"
+                "def jitter():\n    return random.random()\n"
+            ),
+            "repro/chain/miner.py": (
+                "from repro.util.noise import jitter\n"
+                "def mine():\n    return jitter()\n"
+            ),
+        })
+        findings = [f for f in lint_paths([str(root)])
+                    if f.rule_id == "DET006"]
+        assert len(findings) == 1
+        assert "global-RNG" in findings[0].message
+
+    def test_hazard_inside_simulated_package_is_not_det006(self, tmp_path):
+        # A direct hazard in sim code is DET002's per-file territory;
+        # DET006 only reports hazards *hiding* in non-simulated helpers.
+        root = write_tree(tmp_path, {
+            "repro/sim/clocky.py": (
+                "import time\n"
+                "def now():\n    return time.time()\n"
+            ),
+            "repro/sim/driver.py": (
+                "from repro.sim.clocky import now\n"
+                "def sample():\n    return now()\n"
+            ),
+        })
+        assert "DET006" not in rule_ids(lint_paths([str(root)]))
+
+    def test_non_simulated_caller_is_not_flagged(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "repro/util/clockio.py": (
+                "import time\n"
+                "def read_clock():\n    return time.perf_counter()\n"
+            ),
+            "repro/analysis/report.py": (
+                "from repro.util.clockio import read_clock\n"
+                "def stamp():\n    return read_clock()\n"
+            ),
+        })
+        assert "DET006" not in rule_ids(lint_paths([str(root)]))
+
+
+class TestImp001:
+    def test_module_level_cycle(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "repro/net/aa.py": "import repro.net.bb\n",
+            "repro/net/bb.py": "import repro.net.aa\n",
+        })
+        findings = lint_paths([str(root)])
+        assert rule_ids(findings) == ["IMP001"]
+        assert findings[0].path.endswith("aa.py")
+        assert (
+            "repro.net.aa -> repro.net.bb -> repro.net.aa"
+            in findings[0].message
+        )
+
+    def test_three_module_cycle_reported_once(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "repro/net/aa.py": "import repro.net.bb\n",
+            "repro/net/bb.py": "import repro.net.cc\n",
+            "repro/net/cc.py": "import repro.net.aa\n",
+        })
+        findings = lint_paths([str(root)])
+        assert rule_ids(findings) == ["IMP001"]
+
+    def test_type_checking_guard_breaks_the_cycle(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "repro/net/aa.py": (
+                "from typing import TYPE_CHECKING\n"
+                "if TYPE_CHECKING:\n"
+                "    import repro.net.bb\n"
+            ),
+            "repro/net/bb.py": "import repro.net.aa\n",
+        })
+        assert lint_paths([str(root)]) == []
+
+    def test_lazy_import_breaks_the_cycle(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "repro/net/aa.py": (
+                "def late():\n"
+                "    import repro.net.bb\n"
+                "    return repro.net.bb\n"
+            ),
+            "repro/net/bb.py": "import repro.net.aa\n",
+        })
+        assert lint_paths([str(root)]) == []
+
+    def test_from_import_of_submodule_participates(self, tmp_path):
+        root = write_tree(tmp_path, {
+            "repro/net/__init__.py": "",
+            "repro/net/aa.py": "from repro.net import bb\n",
+            "repro/net/bb.py": "import repro.net.aa\n",
+        })
+        assert "IMP001" in rule_ids(lint_paths([str(root)]))
+
+
+SIM_PATH = "repro/sim/demo.py"
+
+
+class TestOrd001:
+    def test_for_loop_over_set_literal_name(self):
+        src = (
+            "def step(peers):\n"
+            "    live = set(peers)\n"
+            "    for p in live:\n"
+            "        p.tick()\n"
+        )
+        findings = lint_source(src, path=SIM_PATH)
+        assert rule_ids(findings) == ["ORD001"]
+        assert "'live'" in findings[0].message
+
+    def test_sorted_iteration_is_allowed(self):
+        src = (
+            "def step(peers):\n"
+            "    live = set(peers)\n"
+            "    for p in sorted(live):\n"
+            "        p.tick()\n"
+        )
+        assert lint_source(src, path=SIM_PATH) == []
+
+    def test_order_insensitive_consumer_is_exempt(self):
+        src = (
+            "def check(words, banned):\n"
+            "    bad = set(banned)\n"
+            "    return any(w in bad for w in words)\n"
+        )
+        assert lint_source(src, path=SIM_PATH) == []
+
+    def test_membership_and_len_are_fine(self):
+        src = (
+            "def check(x):\n"
+            "    live = {1, 2}\n"
+            "    return x in live and len(live) > 1\n"
+        )
+        assert lint_source(src, path=SIM_PATH) == []
+
+    def test_list_conversion_of_set_is_flagged(self):
+        src = (
+            "def order(peers):\n"
+            "    live = set(peers)\n"
+            "    return list(live)\n"
+        )
+        assert rule_ids(lint_source(src, path=SIM_PATH)) == ["ORD001"]
+
+    def test_comprehension_over_set_is_flagged(self):
+        src = (
+            "def names(peers):\n"
+            "    live = set(peers)\n"
+            "    return [p.name for p in live]\n"
+        )
+        assert rule_ids(lint_source(src, path=SIM_PATH)) == ["ORD001"]
+
+    def test_set_comprehension_over_set_keeps_orderlessness(self):
+        src = (
+            "def names(peers):\n"
+            "    live = set(peers)\n"
+            "    return {p.name for p in live}\n"
+        )
+        assert lint_source(src, path=SIM_PATH) == []
+
+    def test_set_union_expression_is_flagged(self):
+        src = (
+            "def step(a, b):\n"
+            "    left = set(a)\n"
+            "    for p in left | set(b):\n"
+            "        p.tick()\n"
+        )
+        assert rule_ids(lint_source(src, path=SIM_PATH)) == ["ORD001"]
+
+    def test_self_attribute_set_is_tracked(self):
+        src = (
+            "class Pool:\n"
+            "    def __init__(self, peers):\n"
+            "        self.live = set(peers)\n"
+            "    def step(self):\n"
+            "        for p in self.live:\n"
+            "            p.tick()\n"
+        )
+        findings = lint_source(src, path=SIM_PATH)
+        assert rule_ids(findings) == ["ORD001"]
+        assert "'self.live'" in findings[0].message
+
+    def test_rebound_name_is_conservatively_unmarked(self):
+        src = (
+            "def step(peers):\n"
+            "    live = set(peers)\n"
+            "    live = order_peers(peers)\n"
+            "    for p in live:\n"
+            "        p.tick()\n"
+        )
+        assert lint_source(src, path=SIM_PATH) == []
+
+    @pytest.mark.parametrize("path", [
+        "repro/analysis/demo.py", "repro/bench/demo.py", "tools/demo.py",
+    ])
+    def test_non_simulated_packages_are_out_of_scope(self, path):
+        src = (
+            "def step(peers):\n"
+            "    live = set(peers)\n"
+            "    for p in live:\n"
+            "        p.tick()\n"
+        )
+        assert lint_source(src, path=path) == []

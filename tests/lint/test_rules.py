@@ -33,7 +33,7 @@ class TestDET001:
         from repro.sim.rng import seeded_rng
 
         def f(seed):
-            return seeded_rng(seed, "f").random()
+            return seeded_rng(seed, "demo.f").random()
         """
         assert rule_ids(src) == []
 
@@ -157,7 +157,7 @@ class TestDET004:
         from repro.sim.rng import seeded_generator
 
         def f(seed):
-            return seeded_generator(seed, "f").random(10)
+            return seeded_generator(seed, "demo.f").random(10)
         """
         assert rule_ids(src) == []
 

@@ -91,7 +91,7 @@ class TestDroppingProvider:
         provider = StorageProvider(network, "p1")
         blob = make_random_blob(streams, 64 * 512, chunk_size=512)  # 64 chunks
         provider.accept_blob(blob)
-        provider.drop_chunks(blob.merkle_root, 0.25, streams.stream("drop"))
+        provider.drop_chunks(blob.merkle_root, 0.25, streams.stream("analysis.drop"))
 
         def scenario():
             failures = 0
@@ -109,7 +109,7 @@ class TestDroppingProvider:
         provider = StorageProvider(network, "p1")
         blob = make_random_blob(streams, 100 * 512, chunk_size=512)
         provider.accept_blob(blob)
-        provider.drop_chunks(blob.merkle_root, 0.1, streams.stream("drop"))
+        provider.drop_chunks(blob.merkle_root, 0.1, streams.stream("analysis.drop"))
 
         def scenario():
             report = yield from verifier.proof_of_storage(
@@ -125,7 +125,7 @@ class TestDroppingProvider:
         provider = StorageProvider(network, "p1")
         blob = make_random_blob(streams, 40 * 512, chunk_size=512)
         provider.accept_blob(blob)
-        provider.drop_chunks(blob.merkle_root, 0.5, streams.stream("drop"))
+        provider.drop_chunks(blob.merkle_root, 0.5, streams.stream("analysis.drop"))
 
         def scenario():
             report = yield from verifier.proof_of_retrievability(
