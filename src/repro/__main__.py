@@ -77,6 +77,7 @@ def _register_experiments() -> None:
         run_federation_availability,
         run_name_theft,
         run_naming_comparison,
+        run_partial_federation_sweep,
         run_proof_economics,
         run_quality_vs_quantity,
         run_social_tradeoff,
@@ -90,6 +91,7 @@ def _register_experiments() -> None:
 
     _EXPERIMENTS.update({
         "E4": lambda: run_federation_availability(seed=7),
+        "E4P": lambda: run_partial_federation_sweep(seed=7),
         "E5": lambda: run_social_tradeoff(seed=3),
         "E6A": lambda: run_naming_comparison(seed=2),
         "E6B": lambda: naming_attack_curve(),
@@ -118,6 +120,7 @@ def _register_sweeps() -> None:
         run_federation_availability,
         run_feasibility,
         run_naming_comparison,
+        run_partial_federation_sweep,
         run_proof_economics,
         run_quality_vs_quantity,
         run_social_tradeoff,
@@ -128,6 +131,8 @@ def _register_sweeps() -> None:
     _SWEEPABLE.update({
         "E3": lambda runner, seed: run_feasibility(runner=runner)["table3"],
         "E4": lambda runner, seed: run_federation_availability(
+            seed=seed, runner=runner),
+        "E4P": lambda runner, seed: run_partial_federation_sweep(
             seed=seed, runner=runner),
         "E5": lambda runner, seed: run_social_tradeoff(
             seed=seed, runner=runner),

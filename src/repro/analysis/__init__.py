@@ -13,6 +13,7 @@ from repro.analysis.experiments import (
     run_feasibility,
     run_name_theft,
     run_naming_comparison,
+    run_partial_federation_sweep,
     run_proof_economics,
     run_quality_vs_quantity,
     run_social_tradeoff,
@@ -33,6 +34,7 @@ from repro.analysis.tables import render_kv, render_table
 __all__ = [
     "run_feasibility",
     "run_federation_availability",
+    "run_partial_federation_sweep",
     "run_social_tradeoff",
     "run_naming_comparison",
     "naming_attack_curve",

@@ -45,6 +45,7 @@ from repro.errors import (
 )
 from repro.groupcomm import (
     CentralizedPlatform,
+    PartialFederation,
     ReplicatedFederation,
     SingleHomeFederation,
     SocialP2PNetwork,
@@ -82,6 +83,7 @@ __all__ = [
     "run_endless_ledger",
     "chain_size_bytes",
     "run_federation_availability",
+    "run_partial_federation_sweep",
     "run_social_tradeoff",
     "run_naming_comparison",
     "naming_attack_curve",
@@ -217,6 +219,151 @@ def run_federation_availability(
         for model_name in ("single_home", "replicated", "replicated_failover")
     ]
     return runner.run("E4_federation_availability", _federation_point, configs)
+
+
+# ---------------------------------------------------------------------------
+# E4P — partial federation across the trust/policy spectrum
+# ---------------------------------------------------------------------------
+
+def _partial_point(
+    policy: str,
+    trust: float,
+    seed: int,
+    n_servers: int,
+    n_users: int,
+    n_messages: int,
+    failed_servers: int,
+    gossip_interval: float,
+    conflict_strategy: str,
+) -> Dict[str, object]:
+    """One E4P grid point: one (policy, trust) mix under one strategy.
+
+    Two rooms stress both sides of the ``filtered`` gate: the public
+    "town" (everyone; public entries federate regardless of trust) and
+    the private "club" (first half of the users; private entries reach
+    only peers at or above the trust threshold).  Concurrent topic
+    writes from differently-homed users manufacture conflicts, so every
+    point also reports residual divergence.
+    """
+    sim = Simulator()
+    streams = RngStreams(seed)
+    network = Network(sim, streams, latency=ConstantLatency(0.02))
+    servers = [f"srv{i}" for i in range(n_servers)]
+    federation = PartialFederation(
+        network, servers, streams, gossip_interval=gossip_interval,
+        conflict_strategy=conflict_strategy, default_policy=policy,
+        default_trust=trust,
+    )
+    users = [f"u{i}" for i in range(n_users)]
+    for i, user in enumerate(users):
+        federation.add_user(user, home=servers[i % n_servers])
+    town = federation.create_room("town", users, public=True)
+    club_members = users[: max(2, n_users // 2)]
+    federation.create_room("club", club_members, public=False)
+    federation.start_federation()
+
+    n_town = (n_messages + 1) // 2
+    n_club = n_messages - n_town
+    expected = {"town": n_town, "club": n_club}
+
+    def post_phase():
+        for i in range(n_town):
+            yield from federation.post(users[i % n_users], "town", f"t-{i}")
+        for i in range(n_club):
+            yield from federation.post(
+                club_members[i % len(club_members)], "club", f"c-{i}"
+            )
+        # Concurrent topic writes from two differently-homed users,
+        # faster than a gossip round: genuine conflicts.
+        yield from federation.set_room_state(users[0], "town", "topic", "a")
+        yield 0.2
+        yield from federation.set_room_state(users[1], "town", "topic", "b")
+        # Let pushes/gossip converge.
+        yield 30 * gossip_interval
+        return True
+
+    sim.run_process(post_phase(), until=10_000.0)
+
+    # Metadata leak before any failure: fraction of (message, server)
+    # sightings realised — 1/n_servers means origin-only, 1.0 means
+    # every hub sees every message (the §3.2 replication leak).
+    sightings = sum(
+        len(federation.server_metadata_view(server)) for server in servers
+    )
+    exposure = sightings / (n_messages * n_servers) if n_messages else 0.0
+
+    # Fail servers deterministically (the first k).
+    for server in servers[:failed_servers]:
+        network.node(server).set_online(False, sim.now)
+
+    readable = {"count": 0, "attempts": 0}
+
+    def read_phase():
+        for room_id, members in (("town", users), ("club", club_members)):
+            for user in members:
+                readable["attempts"] += 1
+                try:
+                    messages = yield from federation.fetch(user, room_id)
+                except (RpcTimeoutError, GroupCommError):
+                    continue
+                if len(messages) >= expected[room_id]:
+                    readable["count"] += 1
+        federation.stop_federation()
+        return True
+
+    sim.run_process(read_phase(), until=sim.now + 100_000.0)
+    divergent = federation.divergence(online_only=True)
+    pending = sum(
+        len(federation.pending_conflicts(server)) for server in servers
+    )
+    return {
+        "policy": policy,
+        "trust": trust,
+        "strategy": conflict_strategy,
+        "failed": failed_servers,
+        "read_availability": readable["count"] / readable["attempts"],
+        "metadata_exposure": round(exposure, 4),
+        "divergent_keys": len(divergent),
+        "conflicts_pending": pending,
+    }
+
+
+def run_partial_federation_sweep(
+    seed: int = 1,
+    n_servers: int = 4,
+    n_users: int = 12,
+    n_messages: int = 8,
+    failed_servers: int = 1,
+    gossip_interval: float = 2.0,
+    conflict_strategy: str = "lww",
+    trust_levels: Sequence[float] = (0.2, 0.5, 0.9),
+    runner: Optional[SweepRunner] = None,
+) -> List[Dict[str, object]]:
+    """E4P: availability/consistency/leak across the trust spectrum.
+
+    One row per (policy, trust) pair.  At a fixed trust level,
+    availability is monotone ``none`` -> ``filtered`` -> ``full`` (more
+    federation, more survivable replicas) and so is metadata exposure —
+    the §3.2 availability-vs-control trade as a measured curve rather
+    than prose.
+    """
+    runner = runner or SweepRunner()
+    configs = [
+        {
+            "policy": policy,
+            "trust": trust,
+            "seed": seed,
+            "n_servers": n_servers,
+            "n_users": n_users,
+            "n_messages": n_messages,
+            "failed_servers": failed_servers,
+            "gossip_interval": gossip_interval,
+            "conflict_strategy": conflict_strategy,
+        }
+        for policy in ("none", "filtered", "full")
+        for trust in trust_levels
+    ]
+    return runner.run("E4P_partial_federation", _partial_point, configs)
 
 
 # ---------------------------------------------------------------------------

@@ -164,6 +164,10 @@ class FaultInjector:
             self.network.node(event.node).set_online(True, self.sim.now)
         if event.node in self._crashed_nodes:
             self._crashed_nodes.remove(event.node)
+        # A restart is a heal: gated invariants (read_your_writes) must
+        # grant their grace period from it, same as partition heals and
+        # window closes.
+        self.last_heal_at = self.sim.now
         self._record("fault_healed", event)
 
     def _open_window(self, event) -> None:

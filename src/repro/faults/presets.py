@@ -19,6 +19,9 @@ preset                      experiment  what it exercises
 ``registration-partition-`` E6          the same partition, never healed — the
 ``noheal``                              mutation-smoke plan a liveness
                                         invariant must catch
+``hub-partition``           E4P         partial-federation hub mesh split in
+                                        two (divergent room state), healed,
+                                        then one hub crash/restart
 ``device-flap``             E9          staggered crash/restart across every
                                         storage provider
 =========================== ==========  =======================================
@@ -83,6 +86,26 @@ def _registration_partition_noheal() -> FaultPlan:
     )
 
 
+def _hub_partition() -> FaultPlan:
+    # The E4P arc: split the hub mesh (users stay with their homes, so
+    # both sides keep writing and room state diverges), heal, then flap
+    # one hub to exercise post-convergence repair.
+    return FaultPlan(
+        [
+            Partition(
+                (
+                    ("ca", "hub1", "client0", "dev00", "dev02", "dev03"),
+                    ("hub2", "dev01", "dev04"),
+                ),
+                at=40.0,
+                heal_at=160.0,
+            ),
+            Crash("hub1", at=200.0, restart_at=260.0),
+        ],
+        name="hub-partition",
+    )
+
+
 def _device_flap() -> FaultPlan:
     return FaultPlan(
         [
@@ -101,6 +124,7 @@ PRESETS: Dict[str, Callable[[], FaultPlan]] = {
     "churn-storm": _churn_storm,
     "registration-partition": _registration_partition,
     "registration-partition-noheal": _registration_partition_noheal,
+    "hub-partition": _hub_partition,
     "device-flap": _device_flap,
 }
 

@@ -14,7 +14,9 @@ what the harness checked and what failed.
 The scenarios' node naming is the contract the presets in
 :mod:`repro.faults.presets` target: ``srv<i>`` (E4 federation servers),
 ``dev<ii>`` (E5 devices), ``client0``/``ca`` (E6), ``prov<i>`` (E9
-providers).
+providers), ``ca``/``hub1``/``hub2`` + ``client0``/``dev<ii>`` (E4P
+partial-federation hubs and users, so the E6 and E5 presets apply to it
+unchanged).
 
 Everything is deterministic in (plan, seed): all randomness flows
 through :class:`~repro.sim.rng.RngStreams`, and observation hooks are
@@ -45,6 +47,7 @@ from repro.faults.invariants import (
 )
 from repro.faults.plan import FaultPlan
 from repro.groupcomm.federated import ReplicatedFederation
+from repro.groupcomm.partial import PartialFederation
 from repro.naming.centralized_pki import CentralizedPKI
 from repro.net.churn import ChurnProcess, ChurnProfile, attach_churn
 from repro.net.node import NodeClass
@@ -59,6 +62,7 @@ __all__ = [
     "SCENARIOS",
     "run_chaos",
     "run_chaos_e4",
+    "run_chaos_e4p",
     "run_chaos_e5",
     "run_chaos_e6",
     "run_chaos_e9",
@@ -192,6 +196,165 @@ def run_chaos_e4(
         "availability": reads["ok"] / total if total else 0.0,
     }
     return _assemble("E4", plan, seed, sim, network, injector, harness, result)
+
+
+# -- E4P: partial federation diverging and re-converging under faults ----
+
+
+def run_chaos_e4p(
+    plan: FaultPlan, seed: int, interval: float = 5.0,
+    strategy: str = "lww",
+) -> Dict[str, Any]:
+    """E4P variant: 3 trust-gated hubs whose room state diverges and must
+    re-converge under the chosen :class:`ConflictStrategy`.
+
+    Hubs ``ca``/``hub1``/``hub2`` federate fully; users ``client0`` and
+    ``dev00``–``dev04`` share the public room "town".  ``client0`` posts
+    messages (retrying through faults) while ``dev00`` and ``dev01`` —
+    homed on different hubs — rewrite the room topic on competing
+    schedules until t=150, manufacturing divergence under any partition
+    the plan opens.  An operator process drains manual conflict queues
+    every 20 s, so the ``manual`` strategy converges too.  The
+    ``replicas_converge`` invariant requires zero divergence and empty
+    conflict queues from t=380 onward; ``read_your_writes`` requires all
+    online hubs to agree once faults are quiet, writes have settled, and
+    the heal grace has passed.
+    """
+    sim = Simulator()
+    streams = RngStreams(seed)
+    network = Network(sim, streams)
+    hubs = ["ca", "hub1", "hub2"]
+    fed = PartialFederation(
+        network, hubs, streams, gossip_interval=2.0,
+        conflict_strategy=strategy,
+    )
+    # Federation-wide reputations: ca is the venerable anchor, hub2 the
+    # freshly-spun-up (possibly Sybil) instance.
+    fed.set_reputation("ca", 0.9)
+    fed.set_reputation("hub1", 0.7)
+    fed.set_reputation("hub2", 0.2)
+    homes = {
+        "client0": "ca", "dev00": "hub1", "dev01": "hub2",
+        "dev02": "ca", "dev03": "hub1", "dev04": "hub2",
+    }
+    for user in sorted(homes):
+        fed.add_user(user, homes[user])
+    users = sorted(homes)
+    fed.create_room("town", users, public=True)
+    fed.start_federation()
+
+    posted: List[str] = []
+    last_write = {"t": 0.0}
+    topic_writes = {"count": 0}
+    reads = {"ok": 0, "failed": 0}
+
+    def poster() -> Generator:
+        yield 10.0
+        for i in range(6):
+            while True:
+                try:
+                    msg_id = yield from fed.post(
+                        "client0", "town", f"msg-{i}"
+                    )
+                except RpcTimeoutError:
+                    yield 5.0
+                    continue
+                break
+            posted.append(msg_id)
+            last_write["t"] = sim.now
+            yield 8.0
+
+    def topic_writer(user: str, phase: float, label: str) -> Generator:
+        yield phase
+        while sim.now < 150.0:
+            try:
+                yield from fed.set_room_state(
+                    user, "town", "topic", f"{label}-{sim.now:.0f}"
+                )
+                topic_writes["count"] += 1
+                last_write["t"] = sim.now
+            except RpcTimeoutError:
+                pass
+            yield 25.0
+
+    def operator() -> Generator:
+        while True:
+            yield 20.0
+            if fed.resolve_manual_queues():
+                last_write["t"] = sim.now
+
+    def reader(user: str) -> Generator:
+        try:
+            messages = yield from fed.fetch(user, "town")
+        except RpcTimeoutError:
+            reads["failed"] += 1
+            return
+        if len(messages) == len(posted):
+            reads["ok"] += 1
+        else:
+            reads["failed"] += 1
+
+    def start_readers() -> None:
+        for user in users:
+            sim.spawn(reader(user), name=f"reader-{user}")
+
+    sim.spawn(poster(), name="poster")
+    sim.spawn(topic_writer("dev00", 15.0, "north"), name="topic-dev00")
+    sim.spawn(topic_writer("dev01", 27.0, "south"), name="topic-dev01")
+    sim.spawn(operator(), name="conflict-operator")
+    sim.schedule_at(390.0, start_readers)
+
+    def agreement_probe(ctx: InvariantContext) -> Any:
+        # Writes need time to gossip (and, under `manual`, an operator
+        # pass) before agreement is a fair demand.
+        if ctx.now < last_write["t"] + 60.0:
+            return None
+        divergent = fed.divergence(online_only=True)
+        if divergent:
+            return (
+                f"{len(divergent)} divergent key(s) among online hubs",
+                {"keys": sorted(divergent)},
+            )
+        return None
+
+    def converged() -> bool:
+        if fed.divergence():
+            return False
+        return not any(
+            fed.pending_conflicts(server_id) for server_id in hubs
+        )
+
+    injector = FaultInjector(sim, network, plan, streams)
+    harness = InvariantHarness(sim, network, injector, interval=interval)
+    harness.add(message_conservation())
+    harness.add(no_double_resume())
+    harness.add(read_your_writes(agreement_probe, grace=60.0))
+    harness.add(eventually(
+        "replicas_converge", deadline=380.0,
+        predicate=lambda ctx: converged(),
+    ))
+    injector.arm()
+    harness.start()
+    sim.run(until=420.0)
+
+    total = reads["ok"] + reads["failed"]
+    queued = sum(len(fed.pending_conflicts(s)) for s in hubs)
+    result = {
+        "strategy": fed.strategy.name,
+        "posted": len(posted),
+        "topic_writes": topic_writes["count"],
+        "reads_ok": reads["ok"],
+        "reads_failed": reads["failed"],
+        "availability": reads["ok"] / total if total else 0.0,
+        "divergent_keys": len(fed.divergence()),
+        "conflicts_pending": queued,
+        "final_topic": (
+            fed.hubs["ca"].store.get("state/town/topic") or {}
+        ).get("value"),
+    }
+    return _assemble(
+        "E4P", plan, seed, sim, network, injector, harness, result
+    )
 
 
 # -- E5: device fleet pinging a datacenter through a churn storm ---------
@@ -391,6 +554,7 @@ def run_chaos_e9(
 #: Experiment key -> chaos scenario runner.
 SCENARIOS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "E4": run_chaos_e4,
+    "E4P": run_chaos_e4p,
     "E5": run_chaos_e5,
     "E6": run_chaos_e6,
     "E9": run_chaos_e9,

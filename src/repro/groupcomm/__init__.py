@@ -1,6 +1,7 @@
-"""Group communication (§3.2): centralized, federated (single-home and
-replicated), and socially-aware P2P models, plus privacy auditing,
-moderation policies, and double-ratchet-style session encryption."""
+"""Group communication (§3.2): centralized, federated (single-home,
+replicated, and trust-gated partial), and socially-aware P2P models, plus
+privacy auditing, moderation policies, and double-ratchet-style session
+encryption."""
 
 from repro.groupcomm.centralized import CentralizedPlatform
 from repro.groupcomm.encryption import Ciphertext, RatchetSession, SessionCompromise
@@ -10,6 +11,19 @@ from repro.groupcomm.federated import (
     SingleHomeFederation,
 )
 from repro.groupcomm.messages import Audience, Message, Room
+from repro.groupcomm.partial import (
+    ConflictRecord,
+    ConflictStrategy,
+    FederationHub,
+    FederationPeer,
+    FederationPolicy,
+    LastWriterWins,
+    ManualQueue,
+    PartialFederation,
+    PartialReplicaStore,
+    TrustWeighted,
+    make_strategy,
+)
 from repro.groupcomm.moderation import (
     KeywordPolicy,
     ModerationOutcome,
@@ -41,6 +55,17 @@ __all__ = [
     "SingleHomeFederation",
     "ReplicatedFederation",
     "FederationBase",
+    "PartialFederation",
+    "FederationHub",
+    "FederationPeer",
+    "FederationPolicy",
+    "PartialReplicaStore",
+    "ConflictRecord",
+    "ConflictStrategy",
+    "LastWriterWins",
+    "TrustWeighted",
+    "ManualQueue",
+    "make_strategy",
     "SocialP2PNetwork",
     "OtrConversation",
     "OtrMessage",

@@ -69,6 +69,12 @@ class FederationBase:
 
     def add_users(self, users: List[str], seed: int = 0) -> None:
         assignment = federation_homes(users, self.server_ids, seed=seed)
+        # Same contract as add_user: bulk registration must not silently
+        # re-home an existing user.  Checked up front so a duplicate
+        # mid-list leaves no partial assignment behind.
+        for user in users:
+            if user in self.homes:
+                raise GroupCommError(f"user {user!r} already registered")
         for user, home in assignment.items():
             if not self.network.has_node(user):
                 self.network.create_node(user, node_class=NodeClass.PERSONAL_COMPUTER)
@@ -139,7 +145,9 @@ class SingleHomeFederation(FederationBase):
             )
             self._timelines[server_id][room_id].append(message)
             # Push once to every other involved server; no retry, no repair.
-            for peer in self.servers_for_room(room_id):
+            # Sorted: servers_for_room returns a set, and fan-out order
+            # must not depend on hash order in a simulated package.
+            for peer in sorted(self.servers_for_room(room_id)):
                 if peer != server_id:
                     self.network.send(
                         server_id, peer, "fed.push",
@@ -182,7 +190,7 @@ class SingleHomeFederation(FederationBase):
                     m for m in self._timelines[server_id][room_id]
                     if self._instance_allows(server_id, m)
                 ),
-                key=lambda m: m.sent_at,
+                key=lambda m: (m.sent_at, m.msg_id),
             )
 
         return handler

@@ -318,9 +318,10 @@ class SetIterationInSim(Rule):
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         if not ctx.in_package(*SIMULATED_PACKAGES):
             return
+        set_defs = _collect_set_returning_defs(ctx.tree)
         for scope_node, set_names, set_attrs in _iter_scopes(ctx.tree):
             yield from self._check_scope(ctx, scope_node, set_names,
-                                         set_attrs)
+                                         set_attrs, set_defs)
 
     def _check_scope(
         self,
@@ -328,9 +329,10 @@ class SetIterationInSim(Rule):
         body: Sequence[ast.stmt],
         set_names: Set[str],
         set_attrs: Set[str],
+        set_defs: Set[str],
     ) -> Iterator[Finding]:
         def is_set(expr: ast.expr) -> bool:
-            return _is_set_expr(expr, set_names, set_attrs)
+            return _is_set_expr(expr, set_names, set_attrs, set_defs)
 
         # Comprehensions handed straight to an order-insensitive
         # consumer (any(x in s for ...), sum(...), min(...)) cannot leak
@@ -484,8 +486,43 @@ def _is_syntactic_set(expr: ast.expr) -> bool:
     return False
 
 
+#: Return-annotation names that mark a function as set-returning.
+_SET_ANNOTATIONS = frozenset({
+    "set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet",
+})
+
+
+def _annotation_is_set(annotation: ast.expr) -> bool:
+    """Does a return annotation denote a set type (``Set[str]``,
+    ``set``, ``typing.FrozenSet[int]``, or their string forms)?"""
+    if isinstance(annotation, ast.Subscript):
+        return _annotation_is_set(annotation.value)
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        head = annotation.value.split("[", 1)[0].strip()
+        return head.rsplit(".", 1)[-1] in _SET_ANNOTATIONS
+    chain = attr_chain(annotation)
+    return bool(chain) and chain[-1] in _SET_ANNOTATIONS
+
+
+def _collect_set_returning_defs(tree: ast.Module) -> Set[str]:
+    """Names of functions/methods defined in this module whose return
+    annotation is a set type — calling one yields an unordered value
+    just like a set literal (``self.servers_for_room(...)`` et al.)."""
+    defs: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.returns is not None and _annotation_is_set(node.returns):
+                defs.add(node.name)
+    return defs
+
+
 def _is_set_expr(
-    expr: ast.expr, set_names: Set[str], set_attrs: Set[str]
+    expr: ast.expr,
+    set_names: Set[str],
+    set_attrs: Set[str],
+    set_defs: Set[str] = frozenset(),  # type: ignore[assignment]
 ) -> bool:
     if _is_syntactic_set(expr):
         return True
@@ -496,6 +533,11 @@ def _is_set_expr(
         return True
     if isinstance(expr, ast.Call):
         func_chain = attr_chain(expr.func)
+        # A call to a locally-defined function/method annotated to
+        # return a set (plain `servers_for_room(...)` or
+        # `self.servers_for_room(...)`).
+        if func_chain and func_chain[-1] in set_defs:
+            return True
         if len(func_chain) >= 2 and func_chain[-1] in (
             _SET_RETURNING_METHODS
         ):
@@ -510,7 +552,7 @@ def _is_set_expr(
         expr.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
     ):
         return (
-            _is_set_expr(expr.left, set_names, set_attrs)
-            or _is_set_expr(expr.right, set_names, set_attrs)
+            _is_set_expr(expr.left, set_names, set_attrs, set_defs)
+            or _is_set_expr(expr.right, set_names, set_attrs, set_defs)
         )
     return False

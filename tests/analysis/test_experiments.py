@@ -8,6 +8,7 @@ from repro.analysis import (
     render_kv,
     render_table,
     run_federation_availability,
+    run_partial_federation_sweep,
     run_feasibility,
     run_proof_economics,
     run_quality_vs_quantity,
@@ -168,3 +169,64 @@ class TestMeasuredScorecards:
     def test_paper_priors_untouched_for_unmeasured_properties(self):
         cards = measured_scorecards(seed=2)
         assert cards["centralized"].evidence["convenience"] == "paper:qualitative"
+
+class TestPartialFederationSweep:
+    """E4P: availability/exposure across the trust spectrum, seed-pinned.
+
+    The acceptance curve: read availability after one hub failure is
+    monotone none -> filtered -> full at every trust level, and the
+    metadata-exposure cost rises with it (the paper's walled-garden
+    tension restated as a federation-policy dial).
+    """
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_partial_federation_sweep(seed=1)
+
+    def test_grid_shape(self, rows):
+        assert [(r["policy"], r["trust"]) for r in rows] == [
+            (policy, trust)
+            for policy in ("none", "filtered", "full")
+            for trust in (0.2, 0.5, 0.9)
+        ]
+        assert all(r["strategy"] == "lww" for r in rows)
+
+    def test_availability_monotone_in_policy(self, rows):
+        by_policy = {}
+        for row in rows:
+            by_policy.setdefault(row["trust"], {})[row["policy"]] = (
+                row["read_availability"]
+            )
+        for trust, curve in by_policy.items():
+            assert curve["none"] <= curve["filtered"] <= curve["full"]
+            # The spectrum's endpoints genuinely differ: isolation loses
+            # data to the failure, full federation rides it out.
+            assert curve["none"] < curve["full"]
+
+    def test_exposure_tracks_availability(self, rows):
+        for row in rows:
+            if row["policy"] == "none":
+                assert row["metadata_exposure"] < 0.5
+            if row["policy"] == "full":
+                assert row["metadata_exposure"] == 1.0
+
+    def test_filtered_trust_dial_pinned(self, rows):
+        filtered = {
+            row["trust"]: row for row in rows if row["policy"] == "filtered"
+        }
+        assert filtered[0.2]["read_availability"] == pytest.approx(2 / 3)
+        assert filtered[0.5]["read_availability"] == pytest.approx(2 / 3)
+        assert filtered[0.9]["read_availability"] == 1.0
+        assert filtered[0.2]["metadata_exposure"] == 0.625
+        assert filtered[0.9]["metadata_exposure"] == 1.0
+
+    def test_golden_none_and_full_rows(self, rows):
+        for row in rows:
+            assert row["divergent_keys"] == 0
+            assert row["conflicts_pending"] == 0
+            assert row["failed"] == 1
+            if row["policy"] == "none":
+                assert row["read_availability"] == 0.0
+                assert row["metadata_exposure"] == 0.25
+            if row["policy"] == "full":
+                assert row["read_availability"] == 1.0

@@ -40,6 +40,56 @@ class TestE4ServerKill:
         assert report["violations"] == []
 
 
+class TestChaosE4P:
+    """Partial federation re-converges after partitions for every
+    conflict strategy (the tentpole acceptance matrix)."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run("E4P", "hub-partition", seed=7)
+
+    def test_hub_partition_golden(self, report):
+        assert report["result"]["strategy"] == "lww"
+        assert report["result"]["posted"] == 6
+        assert report["result"]["topic_writes"] == 11
+        assert report["result"]["reads_ok"] == 6
+        assert report["result"]["reads_failed"] == 0
+        assert report["result"]["availability"] == 1.0
+        assert report["result"]["final_topic"] == "north-141"
+
+    def test_hub_partition_converges(self, report):
+        assert report["result"]["divergent_keys"] == 0
+        assert report["result"]["conflicts_pending"] == 0
+        assert report["invariants"]["violated"] == 0
+        assert report["violations"] == []
+
+    @pytest.mark.parametrize("preset", [
+        "hub-partition", "registration-partition", "churn-storm",
+    ])
+    @pytest.mark.parametrize("strategy", ["lww", "trust_weighted", "manual"])
+    def test_every_strategy_converges_after_heal(self, preset, strategy):
+        from repro.faults.scenarios import run_chaos_e4p
+
+        report = run_chaos_e4p(preset_plan(preset), seed=7, strategy=strategy)
+        assert report["result"]["strategy"] == strategy
+        assert report["result"]["divergent_keys"] == 0
+        assert report["result"]["conflicts_pending"] == 0
+        assert report["violations"] == []
+        # Availability holds through the faults, not just convergence.
+        assert report["result"]["availability"] == 1.0
+
+    def test_partition_actually_bit(self, report):
+        # The golden is only meaningful if the plan injected faults that
+        # the scenario then healed from.
+        assert report["faults"]["injected"] == 2
+        assert report["faults"]["healed"] == 2
+
+    def test_e4p_deterministic(self):
+        first = run("E4P", "hub-partition", seed=7)
+        second = run("E4P", "hub-partition", seed=7)
+        assert first == second
+
+
 class TestE5ChurnStorm:
     """Device pings through drops, latency spikes, corruption, crashes."""
 
@@ -100,7 +150,7 @@ class TestE9DeviceFlap:
 
 class TestScenarioRegistry:
     def test_registry_contents(self):
-        assert sorted(SCENARIOS) == ["E4", "E5", "E6", "E9"]
+        assert sorted(SCENARIOS) == ["E4", "E4P", "E5", "E6", "E9"]
 
     def test_unknown_experiment_rejected(self):
         from repro.errors import FaultError

@@ -1,0 +1,510 @@
+"""Tests for trust-gated partial federation (repro.groupcomm.partial)."""
+
+import pytest
+
+from repro.errors import GroupCommError, RpcTimeoutError
+from repro.gossip.antientropy import Versioned
+from repro.groupcomm import (
+    ConflictRecord,
+    FederationPeer,
+    FederationPolicy,
+    LastWriterWins,
+    ManualQueue,
+    PartialFederation,
+    PartialReplicaStore,
+    TrustWeighted,
+    make_strategy,
+)
+from repro.net.transport import ConstantLatency, Network
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+def make_network(seed=1, latency=0.02):
+    sim = Simulator()
+    streams = RngStreams(seed)
+    network = Network(sim, streams, latency=ConstantLatency(latency))
+    return sim, streams, network
+
+
+def make_federation(seed=1, **kwargs):
+    sim, streams, network = make_network(seed)
+    fed = PartialFederation(
+        network, ["ca", "hub1", "hub2"], streams,
+        gossip_interval=2.0, **kwargs,
+    )
+    for user, home in (("alice", "ca"), ("bob", "hub1"), ("carol", "hub2")):
+        fed.add_user(user, home)
+    fed.create_room("town", ["alice", "bob", "carol"], public=True)
+    return sim, network, fed
+
+
+def run(sim, gen, until=None):
+    return sim.run_process(gen, until=until)
+
+
+class TestPeerManagement:
+    def test_auto_peer_builds_full_mesh(self):
+        _, _, fed = make_federation()
+        for server_id in ("ca", "hub1", "hub2"):
+            peers = fed.hubs[server_id].peers
+            assert sorted(peers) == sorted(
+                s for s in ("ca", "hub1", "hub2") if s != server_id
+            )
+
+    def test_register_peer_defaults(self):
+        _, _, fed = make_federation()
+        peer = fed.hubs["ca"].peers["hub1"]
+        assert peer.trust_level == 0.5
+        assert peer.policy == FederationPolicy.FULL
+        assert peer.active is True
+        assert peer.name == "hub1"
+
+    def test_cannot_register_self(self):
+        _, _, fed = make_federation()
+        with pytest.raises(GroupCommError, match="itself"):
+            fed.hubs["ca"].register_peer("ca")
+
+    def test_cannot_register_twice(self):
+        _, _, fed = make_federation()
+        with pytest.raises(GroupCommError, match="already registered"):
+            fed.hubs["ca"].register_peer("hub1")
+
+    def test_trust_level_validated(self):
+        _, _, fed = make_federation()
+        with pytest.raises(GroupCommError, match="trust level"):
+            fed.set_trust("ca", "hub1", 1.5)
+        with pytest.raises(GroupCommError, match="trust level"):
+            FederationPeer(peer_id="x", name="x", trust_level=-0.1)
+
+    def test_policy_validated(self):
+        _, _, fed = make_federation()
+        with pytest.raises(GroupCommError, match="policy"):
+            fed.set_policy("ca", "hub1", "bogus")
+        with pytest.raises(GroupCommError, match="policy"):
+            FederationPeer(peer_id="x", name="x", policy="bogus")
+
+    def test_deactivate_and_reactivate(self):
+        _, _, fed = make_federation()
+        assert fed.deactivate_peer("ca", "hub1") is True
+        assert not fed.hubs["ca"].federates_with("hub1")
+        assert fed.deactivate_peer("ca", "nope") is False
+        fed.hubs["ca"].reactivate_peer("hub1")
+        assert fed.hubs["ca"].federates_with("hub1")
+
+    def test_active_peers_sorted_and_filtered(self):
+        _, _, fed = make_federation()
+        fed.set_policy("ca", "hub2", FederationPolicy.NONE)
+        assert [p.peer_id for p in fed.hubs["ca"].active_peers()] == ["hub1"]
+        fed.set_policy("ca", "hub2", FederationPolicy.FULL)
+        assert [p.peer_id for p in fed.hubs["ca"].active_peers()] == [
+            "hub1", "hub2",
+        ]
+
+    def test_unknown_peer_and_server_raise(self):
+        _, _, fed = make_federation()
+        with pytest.raises(GroupCommError, match="no peer"):
+            fed.hubs["ca"].get_peer("nope")
+        with pytest.raises(GroupCommError, match="unknown server"):
+            fed.hub("nope")
+
+    def test_reputation_validated_and_defaulted(self):
+        _, _, fed = make_federation(default_trust=0.4)
+        assert fed.reputation("hub1") == 0.4
+        fed.set_reputation("hub1", 0.8)
+        assert fed.reputation("hub1") == 0.8
+        with pytest.raises(GroupCommError, match="reputation"):
+            fed.set_reputation("hub1", 2.0)
+
+    def test_gossip_interval_validated(self):
+        sim, streams, network = make_network()
+        with pytest.raises(GroupCommError, match="interval"):
+            PartialFederation(network, ["a", "b"], streams, gossip_interval=0)
+
+
+class TestConflictStrategies:
+    def test_registry(self):
+        assert isinstance(make_strategy("lww"), LastWriterWins)
+        assert isinstance(make_strategy("trust_weighted"), TrustWeighted)
+        assert isinstance(make_strategy("manual"), ManualQueue)
+        with pytest.raises(GroupCommError, match="unknown conflict strategy"):
+            make_strategy("bogus")
+
+    def test_lww_picks_higher_stamp(self):
+        older = Versioned({"v": 1}, 1, "a")
+        newer = Versioned({"v": 2}, 2, "b")
+        rep = lambda writer: 0.5
+        assert LastWriterWins().resolve("k", older, newer, rep) is newer
+        assert LastWriterWins().resolve("k", newer, older, rep) is newer
+
+    def test_trust_weighted_prefers_reputable_writer(self):
+        low = Versioned({"v": "forged"}, 9, "sybil")
+        high = Versioned({"v": "real"}, 2, "anchor")
+        rep = {"sybil": 0.1, "anchor": 0.9}.get
+        strategy = TrustWeighted()
+        assert strategy.resolve("k", low, high, rep) is high
+        assert strategy.resolve("k", high, low, rep) is high
+
+    def test_trust_weighted_falls_back_to_stamp_on_tie(self):
+        a = Versioned({"v": 1}, 1, "x")
+        b = Versioned({"v": 2}, 2, "y")
+        rep = lambda writer: 0.5
+        assert TrustWeighted().resolve("k", a, b, rep) is b
+
+    def test_manual_returns_none(self):
+        a = Versioned({"v": 1}, 1, "x")
+        b = Versioned({"v": 2}, 2, "y")
+        assert ManualQueue().resolve("k", a, b, lambda w: 0.5) is None
+
+
+class TestPartialReplicaStore:
+    def rep(self, writer):
+        return 0.5
+
+    def test_write_records_prev_stamp(self):
+        store = PartialReplicaStore()
+        first = store.write("k", {"v": 1}, "a")
+        assert first.value["prev"] is None
+        second = store.write("k", {"v": 2}, "a")
+        assert tuple(second.value["prev"]) == first.stamp
+
+    def test_merge_adopts_new_key_and_dedupes(self):
+        store = PartialReplicaStore()
+        item = Versioned({"v": 1, "prev": None}, 1, "a")
+        lww = LastWriterWins()
+        assert store.merge("k", item, lww, self.rep) == "adopted"
+        assert store.merge("k", item, lww, self.rep) == "duplicate"
+        assert "k" in store and len(store) == 1
+
+    def test_merge_fast_forwards_causal_descendant(self):
+        a = PartialReplicaStore()
+        first = a.write("k", {"v": 1}, "x")
+        b = PartialReplicaStore()
+        b.merge("k", first, LastWriterWins(), self.rep)
+        second = b.write("k", {"v": 2}, "x")
+        assert a.merge("k", second, ManualQueue(), self.rep) == "fast_forward"
+        assert a.get("k")["v"] == 2
+        # The mirror direction is stale, not a conflict.
+        assert b.merge("k", first, ManualQueue(), self.rep) == "stale"
+        assert b.get("k")["v"] == 2
+
+    def test_merge_conflict_resolved_by_strategy(self):
+        a = PartialReplicaStore()
+        base = a.write("k", {"v": 0}, "x")
+        b = PartialReplicaStore()
+        b.merge("k", base, LastWriterWins(), self.rep)
+        ours = a.write("k", {"v": "a"}, "x")
+        theirs = b.write("k", {"v": "b"}, "y")
+        outcome = a.merge("k", theirs, LastWriterWins(), self.rep)
+        assert outcome in ("resolved_adopted", "resolved_kept")
+        winner = max((ours, theirs), key=lambda i: i.stamp)
+        assert a.item("k").stamp == winner.stamp
+
+    def test_merge_queued_keeps_current(self):
+        a = PartialReplicaStore()
+        base = a.write("k", {"v": 0}, "x")
+        b = PartialReplicaStore()
+        b.merge("k", base, LastWriterWins(), self.rep)
+        ours = a.write("k", {"v": "a"}, "x")
+        theirs = b.write("k", {"v": "b"}, "y")
+        assert a.merge("k", theirs, ManualQueue(), self.rep) == "queued"
+        assert a.item("k").stamp == ours.stamp
+
+    def test_clock_advances_past_merged_counters(self):
+        store = PartialReplicaStore()
+        store.merge(
+            "k", Versioned({"v": 1, "prev": None}, 41, "a"),
+            LastWriterWins(), self.rep,
+        )
+        assert store.write("k2", {"v": 2}, "b").counter == 42
+
+    def test_digest_maps_keys_to_stamps(self):
+        store = PartialReplicaStore()
+        item = store.write("k", {"v": 1}, "a")
+        assert store.digest() == {"k": item.stamp}
+
+
+class TestPropagationPolicies:
+    def post_and_settle(self, fed, sim, author="alice", body="hi"):
+        def scenario():
+            yield from fed.post(author, "town", body)
+            yield 30.0
+        run(sim, scenario(), until=sim.now + 200.0)
+
+    def holders(self, fed, room="town"):
+        return sorted(
+            server_id for server_id in fed.hubs
+            if any(
+                key.startswith(f"msg/{room}/")
+                for key in fed.hubs[server_id].store.keys()
+            )
+        )
+
+    def test_full_policy_replicates_everywhere(self):
+        sim, _, fed = make_federation()
+        fed.start_federation()
+        self.post_and_settle(fed, sim)
+        assert self.holders(fed) == ["ca", "hub1", "hub2"]
+
+    def test_none_policy_keeps_messages_home(self):
+        sim, _, fed = make_federation(default_policy=FederationPolicy.NONE)
+        fed.start_federation()
+        self.post_and_settle(fed, sim)
+        assert self.holders(fed) == ["ca"]
+
+    def test_filtered_policy_gates_private_rooms_by_trust(self):
+        sim, _, fed = make_federation(
+            default_policy=FederationPolicy.FILTERED, default_trust=0.5,
+        )
+        fed.create_room("club", ["alice", "bob"], public=False)
+        # ca and hub1 trust each other enough for private traffic
+        # (both sides gate: the sender shares, the receiver accepts);
+        # hub2 stays at the 0.5 default, below the 0.75 threshold.
+        fed.set_trust("ca", "hub1", 0.9)
+        fed.set_trust("hub1", "ca", 0.9)
+        fed.start_federation()
+
+        def scenario():
+            yield from fed.post("alice", "town", "open")
+            yield from fed.post("alice", "club", "secret")
+            yield 30.0
+        run(sim, scenario(), until=200.0)
+
+        # Public room reaches every hub regardless of trust...
+        assert self.holders(fed, "town") == ["ca", "hub1", "hub2"]
+        # ...private room only the trusted peer.
+        assert self.holders(fed, "club") == ["ca", "hub1"]
+
+    def test_deactivated_peer_receives_nothing(self):
+        sim, _, fed = make_federation()
+        for server_id in ("ca", "hub1"):
+            fed.deactivate_peer(server_id, "hub2")
+        fed.deactivate_peer("hub2", "ca")
+        fed.deactivate_peer("hub2", "hub1")
+        fed.start_federation()
+        self.post_and_settle(fed, sim)
+        assert self.holders(fed) == ["ca", "hub1"]
+
+    def test_digest_hides_private_entries_from_untrusted_peers(self):
+        sim, _, fed = make_federation(
+            default_policy=FederationPolicy.FILTERED, default_trust=0.2,
+        )
+        fed.create_room("club", ["alice", "bob"], public=False)
+
+        def scenario():
+            yield from fed.post("alice", "club", "secret")
+            yield 0.0
+        run(sim, scenario(), until=50.0)
+        hub = fed.hubs["ca"]
+        handler = fed._make_digest_handler("ca")
+        # An untrusted peer's digest request reveals nothing private.
+        assert handler(None, {}, "hub2") == {}
+        # An unknown sender reveals nothing at all.
+        assert handler(None, {}, "stranger") == {}
+
+
+class TestFetchFailover:
+    def test_fetch_fails_over_to_federated_peer(self):
+        sim, network, fed = make_federation()
+        fed.start_federation()
+
+        def post_phase():
+            yield from fed.post("alice", "town", "hello")
+            yield 30.0
+        run(sim, post_phase(), until=200.0)
+        network.node("ca").set_online(False, sim.now)
+
+        def read_phase():
+            messages = yield from fed.fetch("alice", "town")
+            return [m.body for m in messages]
+        assert run(sim, read_phase(), until=sim.now + 500.0) == ["hello"]
+
+    def test_fetch_with_none_policy_has_no_failover(self):
+        sim, network, fed = make_federation(
+            default_policy=FederationPolicy.NONE,
+        )
+        network.node("ca").set_online(False, sim.now)
+
+        def read_phase():
+            try:
+                yield from fed.fetch("alice", "town")
+            except RpcTimeoutError as exc:
+                return exc
+            return None
+        error = run(sim, read_phase(), until=sim.now + 500.0)
+        assert isinstance(error, RpcTimeoutError)
+
+    def test_fetch_reraises_last_timeout_when_all_targets_dead(self):
+        sim, network, fed = make_federation()
+        for server_id in ("ca", "hub1", "hub2"):
+            network.node(server_id).set_online(False, sim.now)
+
+        def read_phase():
+            try:
+                yield from fed.fetch("alice", "town")
+            except RpcTimeoutError as exc:
+                return exc
+            return None
+        error = run(sim, read_phase(), until=sim.now + 1000.0)
+        assert isinstance(error, RpcTimeoutError)
+
+    def test_fetch_rejects_non_members_of_private_rooms(self):
+        sim, _, fed = make_federation()
+        fed.add_user("mallory", "ca")
+        fed.create_room("club", ["alice", "bob"], public=False)
+
+        def read_phase():
+            try:
+                yield from fed.fetch("mallory", "club")
+            except GroupCommError as exc:
+                return exc
+            return None
+        assert isinstance(
+            run(sim, read_phase(), until=100.0), GroupCommError
+        )
+
+    def test_post_requires_membership_and_home(self):
+        sim, _, fed = make_federation()
+
+        def bad_post():
+            try:
+                yield from fed.post("nobody", "town", "x")
+            except GroupCommError as exc:
+                return exc
+        assert isinstance(run(sim, bad_post(), until=100.0), GroupCommError)
+
+
+def diverge_and_heal(strategy, seed=7):
+    """Partition the mesh, write both sides, heal; returns (fed, sim)."""
+    sim, network, fed = make_federation(seed=seed, conflict_strategy=strategy)
+    fed.set_reputation("ca", 0.9)
+    fed.set_reputation("hub1", 0.7)
+    fed.set_reputation("hub2", 0.2)
+    fed.start_federation()
+
+    def warm():
+        yield from fed.set_room_state("bob", "town", "topic", "welcome")
+        yield 30.0
+    run(sim, warm(), until=100.0)
+
+    network.partition([("ca", "hub1", "alice", "bob"), ("hub2", "carol")])
+
+    def split_writes():
+        yield from fed.set_room_state("bob", "town", "topic", "left")
+        yield 0.5
+        yield from fed.set_room_state("carol", "town", "topic", "right")
+        yield 40.0
+    run(sim, split_writes(), until=sim.now + 200.0)
+    assert fed.divergence(), "partition must manufacture divergence"
+    network.heal()
+    sim.run(until=sim.now + 150.0)
+    return fed, sim
+
+
+class TestConflictConvergence:
+    def topic_values(self, fed):
+        return {
+            server_id: fed.hubs[server_id].store.get("state/town/topic")["value"]
+            for server_id in fed.hubs
+        }
+
+    def test_lww_converges_to_last_writer(self):
+        fed, _ = diverge_and_heal("lww")
+        assert fed.divergence() == {}
+        assert set(self.topic_values(fed).values()) == {"right"}
+
+    def test_trust_weighted_converges_to_reputable_writer(self):
+        fed, _ = diverge_and_heal("trust_weighted")
+        assert fed.divergence() == {}
+        # hub1 (rep 0.7) wrote "left"; hub2 (rep 0.2) wrote "right".
+        assert set(self.topic_values(fed).values()) == {"left"}
+
+    def test_trust_weighted_rejects_sybil_forgery(self):
+        # The Sybil arc: a freshly-spun-up hub floods a competing value;
+        # under LWW it wins (later stamp), under trust weighting it loses.
+        lww_fed, _ = diverge_and_heal("lww")
+        tw_fed, _ = diverge_and_heal("trust_weighted")
+        assert set(self.topic_values(lww_fed).values()) == {"right"}
+        assert set(self.topic_values(tw_fed).values()) == {"left"}
+
+    def test_manual_queue_diverges_until_operator_acts(self):
+        fed, sim = diverge_and_heal("manual")
+        # Still divergent: the strategy parks conflicts instead.
+        assert fed.divergence() != {}
+        queued = {
+            server_id: fed.pending_conflicts(server_id)
+            for server_id in fed.hubs
+        }
+        assert any(queued.values())
+        record = next(q[0] for q in queued.values() if q)
+        assert isinstance(record, ConflictRecord)
+        assert record.key == "state/town/topic"
+        resolved = fed.resolve_manual_queues()
+        assert resolved > 0
+        sim.run(until=sim.now + 100.0)
+        assert fed.divergence() == {}
+        assert all(not fed.pending_conflicts(s) for s in fed.hubs)
+
+    def test_manual_queue_custom_chooser(self):
+        fed, sim = diverge_and_heal("manual")
+        fed.resolve_manual_queues(
+            chooser=lambda record: max(
+                (record.current, record.incoming),
+                key=lambda item: (fed.reputation(item.writer),) + item.stamp,
+            )
+        )
+        sim.run(until=sim.now + 100.0)
+        assert fed.divergence() == {}
+        values = {
+            fed.hubs[s].store.get("state/town/topic")["value"]
+            for s in fed.hubs
+        }
+        assert values == {"left"}
+
+    def test_manual_queue_dedupes_repeated_offers(self):
+        fed, _ = diverge_and_heal("manual")
+        for server_id in fed.hubs:
+            queue = fed.pending_conflicts(server_id)
+            marks = {(r.key, r.incoming.stamp) for r in queue}
+            assert len(marks) == len(queue)
+
+
+class TestAuditSurface:
+    def test_metadata_view_hides_encrypted_bodies(self):
+        sim, _, fed = make_federation()
+        fed.start_federation()
+
+        def scenario():
+            yield from fed.post("alice", "town", "plain")
+            yield from fed.post("alice", "town", "secret", encrypted=True)
+            yield 30.0
+        run(sim, scenario(), until=200.0)
+        view = fed.server_metadata_view("hub2")
+        assert len(view) == 2
+        bodies = [entry.get("body") for entry in view]
+        assert "plain" in bodies
+        assert "secret" not in bodies
+        assert all(entry["author"] == "alice" for entry in view)
+
+    def test_divergence_ignores_offline_hubs_when_asked(self):
+        fed, sim = diverge_and_heal("manual")
+        assert fed.divergence() != {}
+        # Knock the disagreeing hub offline: the online view agrees.
+        network = fed.network
+        divergent_holders = [
+            s for s in fed.hubs
+            if fed.hubs[s].store.get("state/town/topic")["value"] == "right"
+        ]
+        for server_id in divergent_holders:
+            network.node(server_id).set_online(False, sim.now)
+        if len(divergent_holders) < len(fed.hubs):
+            assert fed.divergence(online_only=True) == {}
+
+    def test_determinism_same_seed_same_outcome(self):
+        first, _ = diverge_and_heal("lww", seed=11)
+        second, _ = diverge_and_heal("lww", seed=11)
+        assert first.divergence() == second.divergence()
+        assert (
+            first.hubs["ca"].store.digest()
+            == second.hubs["ca"].store.digest()
+        )

@@ -616,3 +616,129 @@ class TestRoomSemantics:
         room.remove_member("alice")
         with pytest.raises(GroupCommError):
             room.require_member("alice")
+
+
+class TestFederationBugRegressions:
+    """Pin the fan-out-order, tie-break, and re-homing fixes."""
+
+    def test_push_fanout_order_is_sorted_not_hash_order(self):
+        # servers_for_room returns a set; fan-out must iterate it in
+        # sorted order or delivery order depends on PYTHONHASHSEED.
+        sim, streams, network = make_network(70)
+        servers = [f"srv{i}" for i in range(7)]
+        fed = SingleHomeFederation(network, servers)
+        users = [f"u{i}" for i in range(7)]
+        for user, server in zip(users, servers):
+            fed.add_user(user, home=server)
+        fed.create_room("room", users)
+
+        sent_to = []
+        original_send = network.send
+
+        def spying_send(src, dst, method, payload):
+            if method == "fed.push":
+                sent_to.append(dst)
+            return original_send(src, dst, method, payload)
+
+        network.send = spying_send
+        try:
+            sim.run_process(fed.post("u3", "room", "hi"), until=50.0)
+        finally:
+            network.send = original_send
+        expected = sorted(s for s in servers if s != "srv3")
+        assert sent_to == expected
+
+    def test_fetch_breaks_same_timestamp_ties_by_msg_id(self):
+        # Two messages can share sent_at (e.g. replayed from a trace);
+        # both federation flavours must then order by msg_id, so a
+        # SingleHome and a Replicated deployment show the same timeline.
+        from repro.groupcomm.messages import Message
+
+        sim, streams, network = make_network(71)
+        fed = SingleHomeFederation(network, ["s0"])
+        fed.add_user("u0", home="s0")
+        fed.create_room("r", ["u0"])
+        batch = [
+            Message(author="u0", room="r", body=f"m{i}", sent_at=5.0, seq=i)
+            for i in range(6)
+        ]
+        # Guard: the injected order must differ from msg_id order, or
+        # this test cannot catch an insertion-ordered regression.
+        worst_case = sorted(batch, key=lambda m: m.msg_id, reverse=True)
+        assert [m.msg_id for m in worst_case] != sorted(m.msg_id for m in batch)
+        fed._timelines["s0"]["r"].extend(worst_case)
+
+        messages = sim.run_process(fed.fetch("u0", "r"), until=50.0)
+        assert [m.msg_id for m in messages] == sorted(m.msg_id for m in batch)
+        assert all(m.sent_at == 5.0 for m in messages)
+
+    def test_add_user_rejects_rehoming(self):
+        sim, streams, network = make_network(72)
+        fed = SingleHomeFederation(network, ["s0", "s1"])
+        fed.add_user("alice", home="s0")
+        with pytest.raises(GroupCommError, match="already registered"):
+            fed.add_user("alice", home="s1")
+        assert fed.home_of("alice") == "s0"
+
+    def test_add_users_rejects_rehoming_atomically(self):
+        # Same contract as add_user, and no partial assignment: a
+        # duplicate anywhere in the batch leaves the table untouched.
+        sim, streams, network = make_network(73)
+        fed = SingleHomeFederation(network, ["s0", "s1"])
+        fed.add_user("dup", home="s0")
+        with pytest.raises(GroupCommError, match="already registered"):
+            fed.add_users(["fresh1", "fresh2", "dup", "fresh3"])
+        assert fed.home_of("dup") == "s0"
+        for user in ("fresh1", "fresh2", "fresh3"):
+            with pytest.raises(GroupCommError):
+                fed.home_of(user)
+
+    def test_replicated_fetch_all_servers_down_reraises_timeout(self):
+        sim, streams, network = make_network(74)
+        servers = ["srv0", "srv1", "srv2"]
+        fed = ReplicatedFederation(
+            network, servers, streams, gossip_interval=2.0,
+            allow_failover=True,
+        )
+        fed.add_user("u0", home="srv0")
+        fed.create_room("room", ["u0"])
+        for server in servers:
+            network.node(server).set_online(False, sim.now)
+
+        def scenario():
+            try:
+                yield from fed.fetch("u0", "room")
+            except RpcTimeoutError as exc:
+                return exc
+            return None
+
+        # Every target times out; the last timeout must surface rather
+        # than a swallowed error or an empty result.
+        error = sim.run_process(scenario(), until=1000.0)
+        assert isinstance(error, RpcTimeoutError)
+
+    def test_replicated_fetch_recovers_mid_failover_list(self):
+        sim, streams, network = make_network(75)
+        servers = ["srv0", "srv1", "srv2"]
+        fed = ReplicatedFederation(
+            network, servers, streams, gossip_interval=2.0,
+            allow_failover=True,
+        )
+        users = [f"u{i}" for i in range(3)]
+        for user, server in zip(users, servers):
+            fed.add_user(user, home=server)
+        fed.create_room("room", users)
+        fed.start_replication()
+
+        def scenario():
+            yield from fed.post("u0", "room", "survives failover")
+            yield 60.0  # replicate everywhere
+            # Home and first fallback both dead; srv2 must answer.
+            network.node("srv0").set_online(False, sim.now)
+            network.node("srv1").set_online(False, sim.now)
+            messages = yield from fed.fetch("u0", "room")
+            fed.stop_replication()
+            return messages
+
+        messages = sim.run_process(scenario(), until=500.0)
+        assert [m.body for m in messages] == ["survives failover"]

@@ -340,3 +340,93 @@ class TestOrd001:
             "        p.tick()\n"
         )
         assert lint_source(src, path=path) == []
+
+
+class TestOrd001SetReturningCalls:
+    """ORD001 also covers iteration over calls to file-local defs whose
+    return annotation is a set type (e.g. ``servers_for_room``)."""
+
+    def test_for_loop_over_set_returning_function_call(self):
+        src = (
+            "from typing import Set\n"
+            "def members(room) -> Set[str]:\n"
+            "    return set(room)\n"
+            "def step(room):\n"
+            "    for p in members(room):\n"
+            "        p.tick()\n"
+        )
+        assert rule_ids(lint_source(src, path=SIM_PATH)) == ["ORD001"]
+
+    def test_for_loop_over_set_returning_method_call(self):
+        src = (
+            "from typing import Set\n"
+            "class Fed:\n"
+            "    def servers_for_room(self, room) -> Set[str]:\n"
+            "        return set(room)\n"
+            "    def fan_out(self, room):\n"
+            "        for peer in self.servers_for_room(room):\n"
+            "            self.push(peer)\n"
+        )
+        assert rule_ids(lint_source(src, path=SIM_PATH)) == ["ORD001"]
+
+    def test_string_annotation_counts(self):
+        src = (
+            "def members(room) -> \"Set[str]\":\n"
+            "    return set(room)\n"
+            "def step(room):\n"
+            "    for p in members(room):\n"
+            "        p.tick()\n"
+        )
+        assert rule_ids(lint_source(src, path=SIM_PATH)) == ["ORD001"]
+
+    def test_bare_set_annotation_counts(self):
+        src = (
+            "def members(room) -> set:\n"
+            "    return set(room)\n"
+            "def step(room):\n"
+            "    for p in members(room):\n"
+            "        p.tick()\n"
+        )
+        assert rule_ids(lint_source(src, path=SIM_PATH)) == ["ORD001"]
+
+    def test_sorted_call_is_allowed(self):
+        src = (
+            "from typing import Set\n"
+            "def members(room) -> Set[str]:\n"
+            "    return set(room)\n"
+            "def step(room):\n"
+            "    for p in sorted(members(room)):\n"
+            "        p.tick()\n"
+        )
+        assert lint_source(src, path=SIM_PATH) == []
+
+    def test_non_set_return_annotation_is_exempt(self):
+        src = (
+            "from typing import List\n"
+            "def members(room) -> List[str]:\n"
+            "    return list(room)\n"
+            "def step(room):\n"
+            "    for p in members(room):\n"
+            "        p.tick()\n"
+        )
+        assert lint_source(src, path=SIM_PATH) == []
+
+    def test_unannotated_def_is_conservatively_exempt(self):
+        src = (
+            "def members(room):\n"
+            "    return set(room)\n"
+            "def step(room):\n"
+            "    for p in members(room):\n"
+            "        p.tick()\n"
+        )
+        assert lint_source(src, path=SIM_PATH) == []
+
+    def test_order_insensitive_use_of_set_call_is_exempt(self):
+        src = (
+            "from typing import Set\n"
+            "def members(room) -> Set[str]:\n"
+            "    return set(room)\n"
+            "def check(room, user):\n"
+            "    return user in members(room)\n"
+        )
+        assert lint_source(src, path=SIM_PATH) == []
