@@ -368,59 +368,66 @@ class SweepRunner:
         matter how tasks were scheduled.
         """
         start = time.perf_counter()
-        version = code_version(fn)
-        prepared: List[Dict[str, Any]] = []
-        for config in configs:
-            kwargs = dict(config)
-            if self.base_seed is not None and self.seed_param not in kwargs:
-                kwargs[self.seed_param] = derive_task_seed(
-                    self.base_seed, config
-                )
-            prepared.append(kwargs)
-
-        results: List[Any] = [None] * len(prepared)
-        pending: List[Tuple[int, str, Dict[str, Any]]] = []
-        for index, kwargs in enumerate(prepared):
-            key = SweepCache.key(version, canonical_config_hash(kwargs))
-            if self.cache is not None:
-                found, value = self.cache.lookup(experiment, key)
-                if found:
-                    results[index] = value
-                    self._record_task(
-                        TaskRecord(experiment, key, 0.0, cached=True)
+        # Wall-clock accrual and the derived utilization gauges must
+        # survive a raising grid point: a failed task that skipped them
+        # would leave busy_s contributions (from earlier run() calls)
+        # divided by a stale wall_s, overstating utilization forever.
+        try:
+            version = code_version(fn)
+            prepared: List[Dict[str, Any]] = []
+            for config in configs:
+                kwargs = dict(config)
+                if (self.base_seed is not None
+                        and self.seed_param not in kwargs):
+                    kwargs[self.seed_param] = derive_task_seed(
+                        self.base_seed, config
                     )
-                    continue
-            pending.append((index, key, kwargs))
+                prepared.append(kwargs)
 
-        if pending:
-            executed = self._execute(fn, pending)
-            fresh: List[Tuple[str, Any, float]] = []
-            for (index, key, _kwargs), (result, elapsed) in zip(
-                pending, executed
-            ):
-                results[index] = result
-                self._record_task(
-                    TaskRecord(experiment, key, elapsed, cached=False)
-                )
+            results: List[Any] = [None] * len(prepared)
+            pending: List[Tuple[int, str, Dict[str, Any]]] = []
+            for index, kwargs in enumerate(prepared):
+                key = SweepCache.key(version, canonical_config_hash(kwargs))
                 if self.cache is not None:
-                    ok, decoded = _json_roundtrip(result)
-                    if ok:
-                        # Store (and return) the decoded form so a fresh
-                        # run and a cached replay are bit-identical.
-                        results[index] = decoded
-                        fresh.append((key, decoded, elapsed))
-                    else:
-                        self.stats.uncacheable += 1
-            if self.cache is not None and fresh:
-                self.cache.store_many(experiment, fresh)
+                    found, value = self.cache.lookup(experiment, key)
+                    if found:
+                        results[index] = value
+                        self._record_task(
+                            TaskRecord(experiment, key, 0.0, cached=True)
+                        )
+                        continue
+                pending.append((index, key, kwargs))
 
-        self.stats.wall_s += time.perf_counter() - start
-        if self._metrics is not None:
-            self._metrics.set_gauge("sweep.wall_s",
-                                    round(self.stats.wall_s, 6))
-            self._metrics.set_gauge("sweep.worker_utilization",
-                                    round(self.stats.utilization(), 6))
-            self._metrics.set_gauge("sweep.workers", float(self.workers))
+            if pending:
+                executed = self._execute(fn, pending)
+                fresh: List[Tuple[str, Any, float]] = []
+                for (index, key, _kwargs), (result, elapsed) in zip(
+                    pending, executed
+                ):
+                    results[index] = result
+                    self._record_task(
+                        TaskRecord(experiment, key, elapsed, cached=False)
+                    )
+                    if self.cache is not None:
+                        ok, decoded = _json_roundtrip(result)
+                        if ok:
+                            # Store (and return) the decoded form so a
+                            # fresh run and a cached replay are
+                            # bit-identical.
+                            results[index] = decoded
+                            fresh.append((key, decoded, elapsed))
+                        else:
+                            self.stats.uncacheable += 1
+                if self.cache is not None and fresh:
+                    self.cache.store_many(experiment, fresh)
+        finally:
+            self.stats.wall_s += time.perf_counter() - start
+            if self._metrics is not None:
+                self._metrics.set_gauge("sweep.wall_s",
+                                        round(self.stats.wall_s, 6))
+                self._metrics.set_gauge("sweep.worker_utilization",
+                                        round(self.stats.utilization(), 6))
+                self._metrics.set_gauge("sweep.workers", float(self.workers))
         return results
 
     # -- internals -------------------------------------------------------

@@ -1,0 +1,94 @@
+"""SHD001: direct cross-shard state mutation outside ``repro.sim.shard``.
+
+The sharded engine's equivalence guarantee (aggregates equal for every
+shard count K, byte-identical double runs) rests on cross-shard traffic
+flowing exclusively through the barrier protocol: sends freeze into
+``Envelope`` objects in a shard-local outbox, the coordinator carries
+them between shards, and injection happens in a deterministic sorted
+order.  Code that reaches into that machinery directly — assigning the
+outbox (``_shard_outbox``), the partition map (``_shard_assignment``),
+or the router's carried set (``_envelopes_in_transit``), or calling the
+injection internals (``_inject_envelope`` / ``_arrive_envelope`` /
+``_take_outbox``) — moves a message across a shard boundary the
+coordinator never sequenced, silently breaking K-invariance in ways no
+single-K test can catch.
+
+Exempt: ``repro/sim/shard.py`` itself, where the protocol lives.  The
+public surface (``ShardedSimulator.run``, ``ShardNetwork.send``,
+``ShardRouter.collect``/``drain``) remains fine everywhere — the rule
+targets the internals, not supported API.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import LintContext, Rule, register
+from repro.lint.findings import Finding
+
+__all__ = ["CrossShardMutation"]
+
+#: Shard-protocol state attributes nobody outside the exempt module may
+#: assign to.
+SHARD_STATE_ATTRS = frozenset({
+    "_shard_outbox", "_shard_assignment", "_shard_seq",
+    "_envelopes_in_transit",
+})
+
+#: Barrier-protocol internals only the coordinator may call.
+SHARD_INTERNAL_CALLS = frozenset({
+    "_inject_envelope", "_arrive_envelope", "_take_outbox",
+})
+
+
+def _is_exempt(ctx: LintContext) -> bool:
+    return ctx.is_module("sim", "shard.py")
+
+
+@register
+class CrossShardMutation(Rule):
+    rule_id = "SHD001"
+    title = "direct cross-shard state mutation outside repro.sim.shard"
+    rationale = (
+        "Cross-shard messages must travel through the coordinator's"
+        " barrier protocol (deterministic envelope ordering); assigning"
+        " _shard_outbox / _shard_assignment / _envelopes_in_transit or"
+        " calling _inject_envelope directly moves state between shards"
+        " unsequenced, breaking the K-invariance the equivalence suite"
+        " certifies."
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if _is_exempt(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in SHARD_STATE_ATTRS
+                    ):
+                        yield ctx.finding(
+                            self.rule_id, node,
+                            f"assignment to '{target.attr}' bypasses the"
+                            " shard barrier protocol; route cross-shard"
+                            " state through ShardNetwork.send and the"
+                            " coordinator",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in SHARD_INTERNAL_CALLS
+                ):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"call to '{func.attr}' outside repro.sim.shard;"
+                        " only the shard coordinator may move envelopes"
+                        " across shard boundaries",
+                    )

@@ -7,12 +7,18 @@ tooling can consume.
 
 import json
 
+import pytest
+
 from repro.analysis import SweepCache, SweepRunner
 from repro.obs import Metrics, Tracer, observe, render_report_json
 
 
 def _square(x, seed=0):
     return {"x": x, "y": x * x}
+
+
+def _explode(x, seed=0):
+    raise ValueError(f"bad point {x}")
 
 
 class TestRunnerMetrics:
@@ -88,3 +94,46 @@ class TestRunnerMetrics:
         results = runner.run("sq", _square, [{"x": i} for i in range(6)])
         assert [r["y"] for r in results] == [0, 1, 4, 9, 16, 25]
         assert metrics.counter("sweep.cache_misses") == 6
+
+
+class TestRaisingTask:
+    """A grid point that raises must not corrupt the runner's stats.
+
+    Regression: ``run()`` used to accrue ``wall_s`` and set the
+    utilization gauges only on the success path, so the first raising
+    point left ``wall_s`` at 0.0 — and ``utilization()`` reported on a
+    sweep that was never timed.
+    """
+
+    def test_exception_propagates_but_wall_clock_accrues(self):
+        metrics = Metrics()
+        runner = SweepRunner(metrics=metrics)
+        with pytest.raises(ValueError, match="bad point 2"):
+            runner.run("boom", _explode, [{"x": 2}])
+        assert runner.stats.wall_s > 0.0
+        assert metrics.gauge("sweep.wall_s") == pytest.approx(
+            runner.stats.wall_s, abs=1e-6
+        )
+        assert metrics.gauge("sweep.workers") == 1.0
+        assert 0.0 <= metrics.gauge("sweep.worker_utilization") <= 1.0
+
+    def test_wall_clock_keeps_accruing_across_failed_sweeps(self):
+        runner = SweepRunner()
+        with pytest.raises(ValueError):
+            runner.run("boom", _explode, [{"x": 1}])
+        first = runner.stats.wall_s
+        assert first > 0.0
+        with pytest.raises(ValueError):
+            runner.run("boom", _explode, [{"x": 1}])
+        assert runner.stats.wall_s > first
+
+    def test_utilization_stays_sane_after_a_mixed_failed_sweep(self):
+        # A successful sweep accrues busy_s; a later raising sweep must
+        # still accrue wall_s, or utilization() would overstate.
+        runner = SweepRunner()
+        runner.run("sq", _square, [{"x": 0}, {"x": 1}])
+        with pytest.raises(ValueError):
+            runner.run("boom", _explode, [{"x": 2}])
+        assert runner.stats.misses == 2
+        assert runner.stats.wall_s >= runner.stats.busy_s > 0.0
+        assert 0.0 <= runner.stats.utilization() <= 1.0

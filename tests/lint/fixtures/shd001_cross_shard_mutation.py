@@ -1,0 +1,8 @@
+"""SHD001 positive fixture: moving cross-shard state by hand."""
+
+
+def smuggle(network, router, envelope):
+    network._shard_outbox = []
+    network._shard_assignment = {"a": 0, "b": 1}
+    router._envelopes_in_transit = [envelope]
+    network._inject_envelope(envelope)
