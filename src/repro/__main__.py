@@ -74,6 +74,7 @@ _EXPERIMENTS: Dict[str, Callable[[], object]] = {}
 def _register_experiments() -> None:
     from repro.analysis import (
         naming_attack_curve,
+        run_censorship_sweep,
         run_federation_availability,
         run_name_theft,
         run_naming_comparison,
@@ -102,6 +103,7 @@ def _register_experiments() -> None:
         "E10": lambda: run_moderation_comparison(seed=1),
         "E11": lambda: run_usenet_collapse(seed=3),
         "E12": lambda: run_endless_ledger(seed=3),
+        "EC": lambda: run_censorship_sweep(seed=1),
     })
 
 
@@ -121,6 +123,7 @@ _SWEEPABLE_SHARD: Dict[str, Callable[..., object]] = {}
 
 def _register_sweeps() -> None:
     from repro.analysis import (
+        run_censorship_sweep,
         run_federation_availability,
         run_feasibility,
         run_naming_comparison,
@@ -149,6 +152,8 @@ def _register_sweeps() -> None:
         "E9": lambda runner, seed: run_quality_vs_quantity(
             seed=seed, runner=runner),
         "E11": lambda runner, seed: run_usenet_collapse(
+            seed=seed, runner=runner),
+        "EC": lambda runner, seed: run_censorship_sweep(
             seed=seed, runner=runner),
     })
 

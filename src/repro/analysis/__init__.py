@@ -1,5 +1,6 @@
 """Experiment drivers and table rendering (the bench layer's engine)."""
 
+from repro.analysis.censorship import run_censorship_sweep
 from repro.analysis.cohort import (
     run_churn_availability,
     run_feasibility_cohort,
@@ -69,4 +70,5 @@ __all__ = [
     "run_social_tradeoff_shard",
     "run_registration_shard_smoke",
     "run_shard_chaos",
+    "run_censorship_sweep",
 ]

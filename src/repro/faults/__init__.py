@@ -5,7 +5,8 @@ reproducible subsystem:
 
 * :mod:`repro.faults.plan` — declarative :class:`FaultPlan`s built from
   timed events (:class:`Partition`, :class:`Crash`, :class:`DropBurst`,
-  :class:`LatencySpike`, :class:`Corrupt`), JSON round-trippable.
+  :class:`LatencySpike`, :class:`Corrupt`, :class:`Censor`), JSON
+  round-trippable.
 * :mod:`repro.faults.injector` — :class:`FaultInjector` compiles a plan
   into simulator events driving ``Network``/``ChurnProcess`` hooks,
   seeded through named RNG streams so every run is bit-reproducible.
@@ -31,6 +32,7 @@ from repro.faults.invariants import (
     read_your_writes,
 )
 from repro.faults.plan import (
+    Censor,
     Corrupt,
     Crash,
     DropBurst,
@@ -42,6 +44,7 @@ from repro.faults.presets import PRESETS, load_plan, preset_plan
 from repro.faults.scenarios import SCENARIOS, run_chaos
 
 __all__ = [
+    "Censor",
     "Corrupt",
     "Crash",
     "DropBurst",

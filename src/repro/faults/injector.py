@@ -13,13 +13,19 @@ Composition rules for overlapping windows:
 * ``LatencySpike`` factors multiply.
 * ``Partition`` events do **not** compose — the simulated network has a
   single partition state, so a later ``Partition`` replaces an earlier
-  one (last writer wins) and any ``heal_at`` clears whatever partition
-  is current.  Plans that need re-partitioning express it as a sequence.
+  one (last writer wins).  A ``heal_at`` releases the partition **only
+  if its own event is still the active one**: when a later window
+  replaced it, the earlier heal is a no-op (no ``network.heal()``, no
+  ``last_heal_at`` stamp, no ``fault_healed`` record), so the
+  replacement holds until its own heal fires.  ``Censor`` campaigns
+  follow the same last-writer-wins + guarded-heal discipline over their
+  own single slot (a censor never displaces a partition or vice versa).
 
 Determinism: fault coin flips draw from the dedicated named streams
-``faults.drop`` and ``faults.corrupt``, so opening a window never
-perturbs the base ``net.loss`` sequence, and the same (plan, seed) pair
-replays bit-identically.
+``faults.drop``, ``faults.corrupt``, ``faults.censor`` (relay
+detection) and ``faults.censor.degrade`` (degraded-direction drops), so
+opening a window never perturbs the base ``net.loss`` sequence, and the
+same (plan, seed) pair replays bit-identically.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import FaultError
 from repro.faults.plan import (
+    Censor,
     Corrupt,
     Crash,
     DropBurst,
@@ -36,7 +43,7 @@ from repro.faults.plan import (
     Partition,
 )
 from repro.net.churn import ChurnProcess
-from repro.net.transport import FaultSurface, Network
+from repro.net.transport import CensorSurface, FaultSurface, Network
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 
@@ -83,15 +90,39 @@ class FaultInjector:
         self._open_spikes: List[LatencySpike] = []
         self._open_corrupts: List[Corrupt] = []
         self._active_partition: Optional[Partition] = None
+        self._active_censor: Optional[Censor] = None
+        self._censor_surface: Optional[CensorSurface] = None
+        # Relays already detected (or pending reblock) under the active
+        # campaign: each relay costs the censor at most one detection.
+        self._detected_relays: set = set()
+        # Cost counters folded in from healed campaigns (the live
+        # surface's counters are added on top in censor_cost()).
+        self._censor_cost_base: Dict[str, int] = {
+            "blocked_flows": 0, "collateral_flows": 0, "degraded_drops": 0,
+        }
+        self.relays_reblocked = 0
+        # (time, relay) logs across all campaigns — the time-to-reblock
+        # measurement censor scenarios report.
+        self.detection_log: List[Tuple[float, str]] = []
+        self.reblock_log: List[Tuple[float, str]] = []
         self._crashed_nodes: List[str] = []
         self.last_heal_at: Optional[float] = None
         self.injected = 0
         self.healed = 0
         needs_drop = any(isinstance(e, DropBurst) for e in plan)
         needs_corrupt = any(isinstance(e, Corrupt) for e in plan)
+        needs_censor = any(isinstance(e, Censor) for e in plan)
         self._drop_rng = streams.stream("faults.drop") if needs_drop else None
         self._corrupt_rng = (
             streams.stream("faults.corrupt") if needs_corrupt else None
+        )
+        # Detection draws and degraded-direction drops get their own
+        # streams so a campaign never perturbs drop/corrupt sequences.
+        self._censor_rng = (
+            streams.stream("faults.censor") if needs_censor else None
+        )
+        self._censor_degrade_rng = (
+            streams.stream("faults.censor.degrade") if needs_censor else None
         )
 
     # -- lifecycle -------------------------------------------------------
@@ -114,6 +145,12 @@ class FaultInjector:
                     self.sim.schedule_at(
                         event.heal_at, self._heal_partition, event
                     )
+            elif isinstance(event, Censor):
+                self.sim.schedule_at(event.at, self._start_censor, event)
+                if event.heal_at is not None:
+                    self.sim.schedule_at(
+                        event.heal_at, self._heal_censor, event
+                    )
             elif isinstance(event, Crash):
                 self.sim.schedule_at(event.at, self._crash, event)
                 if event.restart_at is not None:
@@ -127,9 +164,32 @@ class FaultInjector:
         return self._active_partition is not None
 
     @property
+    def censor_active(self) -> bool:
+        return self._active_censor is not None
+
+    @property
     def crashed_nodes(self) -> Tuple[str, ...]:
         """Nodes currently held down by a plan ``Crash``."""
         return tuple(self._crashed_nodes)
+
+    def censor_cost(self) -> Dict[str, int]:
+        """The censor's running cost model, summed over all campaigns.
+
+        ``blocked_flows`` counts every hard directional kill,
+        ``collateral_flows`` the subset that carried no watched
+        fingerprint (innocent traffic the campaign destroyed — the
+        collateral-damage curve Garcia Lopez et al. argue censorship
+        resistance must be priced against), ``degraded_drops`` the
+        probabilistic reverse-direction kills, and ``relays_reblocked``
+        how many detected relays the campaign re-blocked.
+        """
+        totals = dict(self._censor_cost_base)
+        surface = self._censor_surface
+        if surface is not None:
+            for key, value in surface.cost_snapshot().items():
+                totals[key] += value
+        totals["relays_reblocked"] = self.relays_reblocked
+        return totals
 
     # -- event handlers --------------------------------------------------
 
@@ -139,12 +199,111 @@ class FaultInjector:
         self._record("fault_injected", event)
 
     def _heal_partition(self, event: Partition) -> None:
-        # Last-writer-wins: a later Partition may have replaced `event`;
-        # healing clears whatever partition is current either way.
+        # Last-writer-wins: a later Partition may have replaced `event`,
+        # in which case this heal is a no-op — the replacement owns the
+        # partition state until its own heal (or never).  Healing
+        # unconditionally here would tear down the replacement early,
+        # stamp a bogus last_heal_at (prematurely opening gated
+        # invariants' grace windows), and record a spurious heal.
+        if self._active_partition is not event:
+            return
         self.network.heal()
         self._active_partition = None
         self.last_heal_at = self.sim.now
         self._record("fault_healed", event)
+
+    def _start_censor(self, event: Censor) -> None:
+        # Last-writer-wins over the single censor slot: a new campaign
+        # replaces any open one, but an open campaign's accumulated cost
+        # is folded into the totals first so censor_cost() never loses
+        # history.
+        if self._censor_surface is not None:
+            for key, value in self._censor_surface.cost_snapshot().items():
+                self._censor_cost_base[key] += value
+        surface = CensorSurface(
+            inside=event.inside,
+            blocked=event.blocked,
+            direction=event.direction,
+            degrade_prob=event.degrade_prob,
+            fingerprints=event.fingerprints,
+            degrade_rng=self._censor_degrade_rng,
+            on_fingerprint=self._observe_fingerprint,
+        )
+        self._censor_surface = surface
+        self._active_censor = event
+        self._detected_relays = set()
+        self.network._set_censor_surface(surface)
+        self._record("fault_injected", event)
+
+    def _heal_censor(self, event: Censor) -> None:
+        # Same guard as _heal_partition: only the active campaign's own
+        # heal releases the border.
+        if self._active_censor is not event:
+            return
+        surface = self._censor_surface
+        if surface is not None:
+            for key, value in surface.cost_snapshot().items():
+                self._censor_cost_base[key] += value
+        self.network._set_censor_surface(None)
+        self._censor_surface = None
+        self._active_censor = None
+        self._detected_relays = set()
+        self.last_heal_at = self.sim.now
+        self._record("fault_healed", event)
+
+    def _observe_fingerprint(self, src_id: str, dst_id: str,
+                             method: str) -> None:
+        """DPI saw one fingerprinted message cross the border.
+
+        The relay is the outside endpoint of the flow.  Each observed
+        message of a not-yet-detected relay is an independent detection
+        draw from the ``faults.censor`` stream; on success the relay
+        joins the blocklist after the campaign's ``reblock_delay``
+        (detection is cheap, pushing a rule to the border routers is
+        not).
+        """
+        event = self._active_censor
+        surface = self._censor_surface
+        rng = self._censor_rng
+        if event is None or surface is None or rng is None:
+            return
+        if event.detect_prob <= 0:
+            return
+        relay = dst_id if src_id in surface.inside else src_id
+        if relay in surface.blocklist or relay in self._detected_relays:
+            return
+        if rng.random() >= event.detect_prob:
+            return
+        self._detected_relays.add(relay)
+        self.detection_log.append((self.sim.now, relay))
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit("censor_detected", t=self.sim.now, relay=relay,
+                        method=method, plan=self.plan.name)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc("faults.censor.detected")
+        self.sim.schedule(event.reblock_delay, self._apply_reblock,
+                          event, relay)
+
+    def _apply_reblock(self, event: Censor, relay: str) -> None:
+        # The campaign may have healed (or been replaced) while the
+        # block order was in flight — a dead campaign reblocks nothing.
+        if self._active_censor is not event:
+            return
+        surface = self._censor_surface
+        if surface is None:  # pragma: no cover - guarded above
+            return
+        surface.blocklist.add(relay)
+        self.relays_reblocked += 1
+        self.reblock_log.append((self.sim.now, relay))
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.emit("censor_reblocked", t=self.sim.now, relay=relay,
+                        plan=self.plan.name)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc("faults.censor.reblocked")
 
     def _crash(self, event: Crash) -> None:
         process = self.churn.get(event.node)

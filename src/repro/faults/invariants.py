@@ -72,11 +72,14 @@ class InvariantContext:
 
     @property
     def faults_quiet(self) -> bool:
-        """No partition and no crashed node currently injected."""
+        """No partition, censor campaign, or crashed node currently
+        injected."""
         if self.injector is None:
             return True
         return not (
-            self.injector.partition_active or self.injector.crashed_nodes
+            self.injector.partition_active
+            or self.injector.censor_active
+            or self.injector.crashed_nodes
         )
 
 

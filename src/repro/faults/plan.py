@@ -11,6 +11,9 @@ dataclass naming *what* goes wrong and *when*:
 * :class:`LatencySpike` — multiply all link delays over a window.
 * :class:`Corrupt` — receiver-side corruption (checksum-reject drop)
   probability over a window.
+* :class:`Censor` — a country-scale censorship campaign: an asymmetric
+  border block over an ``inside`` node set with an endpoint blocklist,
+  protocol-fingerprint detection of relays, and delayed re-blocking.
 
 Plans are pure data: JSON-serializable (:meth:`FaultPlan.to_dict` /
 :meth:`FaultPlan.from_dict`, plus file helpers), validated on
@@ -29,6 +32,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.errors import FaultError
 
 __all__ = [
+    "Censor",
     "Corrupt",
     "Crash",
     "DropBurst",
@@ -261,6 +265,118 @@ class Corrupt(_WindowFault):
                 "window": list(self.window)}
 
 
+#: Directions a :class:`Censor` campaign may hard-block.
+CENSOR_DIRECTIONS = ("outbound", "both")
+
+
+@dataclass(frozen=True)
+class Censor:
+    """A national-firewall campaign over a bordered node set.
+
+    ``inside`` names the nodes behind the border; ``blocked`` names
+    outside endpoints on the censor's initial blocklist (the banned
+    services).  While the campaign is active:
+
+    * a message crossing the border to/from a blocklisted endpoint is
+      hard-dropped when it travels in the blocked ``direction``
+      (``"outbound"``: inside→outside blocked, outside→inside degraded
+      with probability ``degrade_prob``; ``"both"``: hard-blocked in
+      both directions);
+    * cross-border traffic to endpoints *not* on the blocklist passes —
+      that is the gap circumvention relays live in;
+    * every crossing message whose method matches one of the
+      ``fingerprints`` prefixes is observed by the censor's DPI; each
+      observation is detected with probability ``detect_prob`` (drawn
+      from the dedicated ``faults.censor`` stream), and a detected
+      relay joins the blocklist ``reblock_delay`` seconds later.
+
+    The campaign heals at ``heal_at`` (``None`` = never).  Like
+    :class:`Partition`, overlapping ``Censor`` events do not compose:
+    the most recent campaign wins and a replaced campaign's heal is a
+    no-op.
+    """
+
+    inside: Tuple[str, ...]
+    at: float
+    heal_at: Optional[float] = None
+    blocked: Tuple[str, ...] = ()
+    direction: str = "outbound"
+    degrade_prob: float = 0.0
+    fingerprints: Tuple[str, ...] = ()
+    detect_prob: float = 0.0
+    reblock_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        inside = tuple(str(n) for n in self.inside)
+        if not inside:
+            raise FaultError("Censor needs a non-empty inside set")
+        object.__setattr__(self, "inside", inside)
+        blocked = tuple(str(n) for n in self.blocked)
+        overlap = set(inside) & set(blocked)
+        if overlap:
+            raise FaultError(
+                f"Censor.blocked endpoints must be outside the border:"
+                f" {sorted(overlap)}"
+            )
+        object.__setattr__(self, "blocked", blocked)
+        object.__setattr__(self, "at", _check_time("Censor.at", self.at))
+        if self.heal_at is not None:
+            heal_at = _check_time("Censor.heal_at", self.heal_at)
+            if heal_at <= self.at:
+                raise FaultError(
+                    f"Censor.heal_at must be after at: {heal_at} <= {self.at}"
+                )
+            object.__setattr__(self, "heal_at", heal_at)
+        if self.direction not in CENSOR_DIRECTIONS:
+            raise FaultError(
+                f"Censor.direction must be one of {CENSOR_DIRECTIONS},"
+                f" got {self.direction!r}"
+            )
+        for label, prob in (("degrade_prob", self.degrade_prob),
+                            ("detect_prob", self.detect_prob)):
+            if not isinstance(prob, (int, float)) or isinstance(prob, bool):
+                raise FaultError(
+                    f"Censor.{label} must be a number, got {prob!r}"
+                )
+            if not 0 <= prob <= 1:
+                raise FaultError(
+                    f"Censor.{label} must be in [0, 1], got {prob}"
+                )
+            object.__setattr__(self, label, float(prob))
+        fingerprints = tuple(str(f) for f in self.fingerprints)
+        if any(not f for f in fingerprints):
+            raise FaultError("Censor.fingerprints must be non-empty prefixes")
+        object.__setattr__(self, "fingerprints", fingerprints)
+        object.__setattr__(
+            self, "reblock_delay",
+            _check_time("Censor.reblock_delay", self.reblock_delay),
+        )
+
+    @property
+    def kind(self) -> str:
+        return "censor"
+
+    def node_ids(self) -> Iterator[str]:
+        yield from self.inside
+        yield from self.blocked
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "kind": "censor",
+            "inside": list(self.inside),
+            "at": self.at,
+            "blocked": list(self.blocked),
+            "direction": self.direction,
+            "degrade_prob": self.degrade_prob,
+            "fingerprints": list(self.fingerprints),
+            "detect_prob": self.detect_prob,
+            "reblock_delay": self.reblock_delay,
+        }
+        if self.heal_at is not None:
+            out["heal_at"] = self.heal_at
+        return out
+
+
 #: Every concrete fault-event type, keyed by its serialized ``kind``.
 _EVENT_TYPES = {
     "partition": Partition,
@@ -268,9 +384,10 @@ _EVENT_TYPES = {
     "drop_burst": DropBurst,
     "latency_spike": LatencySpike,
     "corrupt": Corrupt,
+    "censor": Censor,
 }
 
-FaultEvent = Any  # union of the five dataclasses above
+FaultEvent = Any  # union of the six dataclasses above
 
 
 class FaultPlan:
@@ -368,6 +485,10 @@ class FaultPlan:
                 fields["groups"] = tuple(
                     tuple(group) for group in fields["groups"]
                 )
+            if kind == "censor":
+                for field_name in ("inside", "blocked", "fingerprints"):
+                    if field_name in fields:
+                        fields[field_name] = tuple(fields[field_name])
             if "window" in fields:
                 fields["window"] = tuple(fields["window"])
             try:

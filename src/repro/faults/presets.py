@@ -24,6 +24,13 @@ preset                      experiment  what it exercises
                                         then one hub crash/restart
 ``device-flap``             E9          staggered crash/restart across every
                                         storage provider
+``border-block``            E4C/E5C/    static national-firewall campaign over
+                            E9C         the censor scenarios' labelled border
+``border-block-probing``    E4C/E5C/    the same border plus DPI fingerprint
+                            E9C         detection and delayed relay re-blocking
+``border-flap``             E4C/E5C/    two overlapping campaigns — the border
+                            E9C         flaps, exercising guarded-heal
+                                        semantics under load
 =========================== ==========  =======================================
 """
 
@@ -33,6 +40,7 @@ from typing import Callable, Dict, List
 
 from repro.errors import FaultError
 from repro.faults.plan import (
+    Censor,
     Corrupt,
     Crash,
     DropBurst,
@@ -41,7 +49,7 @@ from repro.faults.plan import (
     Partition,
 )
 
-__all__ = ["PRESETS", "load_plan", "preset_plan"]
+__all__ = ["CENSOR_INSIDE", "PRESETS", "load_plan", "preset_plan"]
 
 
 def _quiet() -> FaultPlan:
@@ -116,6 +124,87 @@ def _device_flap() -> FaultPlan:
     )
 
 
+#: The censor scenarios' border membership: the ``cn`` region of their
+#: ``isp_tree(4, 2, regions=("cn", "intl"))`` topology (see
+#: :mod:`repro.faults.scenarios`).
+CENSOR_INSIDE = (
+    "isp0", "isp2", "user0_0", "user0_1", "user2_0", "user2_1",
+)
+
+
+def _border_block() -> FaultPlan:
+    # Static national firewall: both services blocklisted for the middle
+    # of the run, outbound hard-blocked, inbound degraded.  No DPI, so
+    # relays stay alive for the whole campaign.
+    return FaultPlan(
+        [
+            Censor(
+                inside=CENSOR_INSIDE,
+                at=60.0,
+                heal_at=300.0,
+                blocked=("svc0", "svc1"),
+                direction="outbound",
+                degrade_prob=0.25,
+                fingerprints=("relay.",),
+            ),
+        ],
+        name="border-block",
+    )
+
+
+def _border_block_probing() -> FaultPlan:
+    # The same border, but the censor's DPI watches for the relay
+    # protocol fingerprint: each observed relay message is detected with
+    # p=0.3 and the relay joins the blocklist 15 s later — the
+    # whack-a-mole dynamic the censor scenarios measure.
+    return FaultPlan(
+        [
+            Censor(
+                inside=CENSOR_INSIDE,
+                at=60.0,
+                heal_at=300.0,
+                blocked=("svc0", "svc1"),
+                direction="outbound",
+                degrade_prob=0.25,
+                fingerprints=("relay.",),
+                detect_prob=0.3,
+                reblock_delay=15.0,
+            ),
+        ],
+        name="border-block-probing",
+    )
+
+
+def _border_flap() -> FaultPlan:
+    # Two overlapping campaigns: the second (probing, harsher) replaces
+    # the first mid-window, so the first heal at t=180 must be a no-op —
+    # the overlapping-window semantics the PR-10 heal guard pins, now
+    # exercised end-to-end in a preset.
+    return FaultPlan(
+        [
+            Censor(
+                inside=CENSOR_INSIDE,
+                at=40.0,
+                heal_at=180.0,
+                blocked=("svc0",),
+                direction="outbound",
+                fingerprints=("relay.",),
+            ),
+            Censor(
+                inside=CENSOR_INSIDE,
+                at=120.0,
+                heal_at=280.0,
+                blocked=("svc0", "svc1"),
+                direction="both",
+                fingerprints=("relay.",),
+                detect_prob=0.5,
+                reblock_delay=10.0,
+            ),
+        ],
+        name="border-flap",
+    )
+
+
 #: Preset name -> plan factory.  Factories, not instances, so callers
 #: can never mutate a shared plan.
 PRESETS: Dict[str, Callable[[], FaultPlan]] = {
@@ -126,6 +215,9 @@ PRESETS: Dict[str, Callable[[], FaultPlan]] = {
     "registration-partition-noheal": _registration_partition_noheal,
     "hub-partition": _hub_partition,
     "device-flap": _device_flap,
+    "border-block": _border_block,
+    "border-block-probing": _border_block_probing,
+    "border-flap": _border_flap,
 }
 
 

@@ -16,7 +16,11 @@ The scenarios' node naming is the contract the presets in
 ``dev<ii>`` (E5 devices), ``client0``/``ca`` (E6), ``prov<i>`` (E9
 providers), ``ca``/``hub1``/``hub2`` + ``client0``/``dev<ii>`` (E4P
 partial-federation hubs and users, so the E6 and E5 presets apply to it
-unchanged).
+unchanged).  The censor scenarios (``E4C``/``E5C``/``E9C``) share one
+cast built from a region-labelled :func:`~repro.net.topology.isp_tree`
+— inside nodes ``isp0``/``isp2`` + their users (the ``cn`` region),
+outside services ``svc0``/``svc1``, and volunteer relays
+``relay0``–``relay3`` — so the ``border-*`` presets apply to all three.
 
 Everything is deterministic in (plan, seed): all randomness flows
 through :class:`~repro.sim.rng.RngStreams`, and observation hooks are
@@ -26,7 +30,7 @@ gets full traces without the scenarios knowing about it.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List
+from typing import Any, Callable, Dict, Generator, List, Tuple
 
 from repro.crypto.keys import generate_keypair
 from repro.errors import (
@@ -46,11 +50,13 @@ from repro.faults.invariants import (
     read_your_writes,
 )
 from repro.faults.plan import FaultPlan
+from repro.gossip.relay import CircumventionClient, RelayNode
 from repro.groupcomm.federated import ReplicatedFederation
 from repro.groupcomm.partial import PartialFederation
 from repro.naming.centralized_pki import CentralizedPKI
 from repro.net.churn import ChurnProcess, ChurnProfile, attach_churn
 from repro.net.node import NodeClass
+from repro.net.topology import isp_tree, nodes_in_region
 from repro.net.transport import Network
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
@@ -62,10 +68,13 @@ __all__ = [
     "SCENARIOS",
     "run_chaos",
     "run_chaos_e4",
+    "run_chaos_e4c",
     "run_chaos_e4p",
     "run_chaos_e5",
+    "run_chaos_e5c",
     "run_chaos_e6",
     "run_chaos_e9",
+    "run_chaos_e9c",
 ]
 
 
@@ -551,13 +560,271 @@ def run_chaos_e9(
     return _assemble("E9", plan, seed, sim, network, injector, harness, result)
 
 
+# -- E4C/E5C/E9C: censorship campaigns over a labelled border ------------
+#
+# One shared cast (so every border-* preset validates against all
+# three): a region-labelled isp_tree supplies the censored country
+# (region "cn" -> isp0/isp2 and their users), svc0/svc1 are the outside
+# services the campaigns blocklist, and relay0-relay3 are outside
+# volunteers.  Inside users run CircumventionClients that start with no
+# relay knowledge and learn addresses from relay.announce gossip — the
+# announcements cross the border carrying the relay fingerprint, so
+# probing campaigns detect relays even before they carry traffic.
+
+
+def _censor_fabric(
+    seed: int,
+) -> Tuple[Simulator, RngStreams, Network, List[str], List[CircumventionClient]]:
+    sim = Simulator()
+    streams = RngStreams(seed)
+    network = Network(sim, streams)
+    graph = isp_tree(4, 2, regions=("cn", "intl"))
+    for node_id in sorted(graph.nodes):
+        network.create_node(
+            node_id,
+            node_class=(
+                NodeClass.DATACENTER if node_id.startswith("isp")
+                else NodeClass.PERSONAL_COMPUTER
+            ),
+        )
+    inside = nodes_in_region(graph, "cn")
+    for service in ("svc0", "svc1"):
+        network.create_node(service, node_class=NodeClass.DATACENTER)
+    relays = []
+    for i in range(4):
+        network.create_node(f"relay{i}",
+                            node_class=NodeClass.PERSONAL_COMPUTER)
+        relays.append(RelayNode(network, f"relay{i}"))
+    clients = [
+        CircumventionClient(network, user)
+        for user in inside if user.startswith("user")
+    ]
+
+    def announcer(relay: RelayNode, phase: float) -> Generator:
+        yield phase
+        while True:
+            relay.announce([c.node.node_id for c in clients])
+            yield 30.0
+
+    for i, relay in enumerate(relays):
+        sim.spawn(announcer(relay, 20.0 + 2.0 * i),
+                  name=f"announce-{relay.node.node_id}")
+    return sim, streams, network, inside, clients
+
+
+def _censor_result(
+    injector: FaultInjector,
+    attempts: List[Tuple[float, bool]],
+    horizon: float,
+    bucket: float = 100.0,
+) -> Dict[str, Any]:
+    """The shared censor measurements: reachability over time,
+    time-to-reblock, and the censor's cost model."""
+    ok = sum(1 for _, success in attempts if success)
+    timeline = []
+    edge = 0.0
+    while edge < horizon:
+        window = [s for t, s in attempts if edge <= t < edge + bucket]
+        timeline.append({
+            "t": edge,
+            "attempts": len(window),
+            "ok": sum(window),
+        })
+        edge += bucket
+    return {
+        "attempts": len(attempts),
+        "ok": ok,
+        "reachability": ok / len(attempts) if attempts else 0.0,
+        "timeline": timeline,
+        "relays_detected": len(injector.detection_log),
+        "relays_reblocked": injector.relays_reblocked,
+        "first_detection_at": (
+            injector.detection_log[0][0] if injector.detection_log else None
+        ),
+        "first_reblock_at": (
+            injector.reblock_log[0][0] if injector.reblock_log else None
+        ),
+        "censor_cost": injector.censor_cost(),
+    }
+
+
+def _run_censor_scenario(
+    experiment: str,
+    plan: FaultPlan,
+    seed: int,
+    interval: float,
+    attempt_factory: Callable[
+        [Network, CircumventionClient, List[Tuple[float, bool]]],
+        Callable[[], Generator],
+    ],
+    period: float,
+    horizon: float = 400.0,
+) -> Dict[str, Any]:
+    """Common driver: every inside user runs ``attempt_factory``'s
+    probe loop against the blocked services while the plan's campaigns
+    come and go."""
+    sim, streams, network, inside, clients = _censor_fabric(seed)
+    attempts: List[Tuple[float, bool]] = []
+
+    def prober(client: CircumventionClient, phase: float) -> Generator:
+        attempt = attempt_factory(network, client, attempts)
+        yield phase
+        while True:
+            yield from attempt()
+            yield period
+
+    for i, client in enumerate(clients):
+        sim.spawn(prober(client, 10.0 + 1.0 * i),
+                  name=f"prober-{client.node.node_id}")
+
+    injector = FaultInjector(sim, network, plan, streams)
+    harness = InvariantHarness(sim, network, injector, interval=interval)
+    harness.add(message_conservation())
+    harness.add(no_double_resume())
+    injector.arm()
+    harness.start()
+    sim.run(until=horizon)
+
+    result = _censor_result(injector, attempts, horizon)
+    return _assemble(
+        experiment, plan, seed, sim, network, injector, harness, result
+    )
+
+
+def run_chaos_e4c(
+    plan: FaultPlan, seed: int, interval: float = 5.0
+) -> Dict[str, Any]:
+    """E4C: group-feed reads from a blocked outside service.
+
+    ``svc0`` hosts a message feed that grows until t=200; inside users
+    fetch it every 20 s through their circumvention clients.  An attempt
+    succeeds only if the full feed (as of fetch time) comes back —
+    the E4 availability question asked across a censored border.
+    """
+    feed: List[str] = []
+
+    def attempt_factory(
+        network: Network,
+        client: CircumventionClient,
+        attempts: List[Tuple[float, bool]],
+    ) -> Callable[[], Generator]:
+        if not network.node("svc0").has_handler("feed.fetch"):
+            network.node("svc0").register_handler(
+                "feed.fetch", lambda node, payload, sender: list(feed)
+            )
+
+            def poster() -> Generator:
+                yield 5.0
+                while network.sim.now < 200.0:
+                    feed.append(f"msg-{len(feed)}")
+                    yield 15.0
+
+            network.sim.spawn(poster(), name="feed-poster")
+
+        def attempt() -> Generator:
+            expected = len(feed)
+            try:
+                messages = yield from client.request("svc0", "feed.fetch")
+            except RpcTimeoutError:
+                attempts.append((network.sim.now, False))
+                return
+            attempts.append((network.sim.now, len(messages) >= expected))
+        return attempt
+
+    report = _run_censor_scenario(
+        "E4C", plan, seed, interval, attempt_factory, period=20.0
+    )
+    report["result"]["posted"] = len(feed)
+    return report
+
+
+def run_chaos_e5c(
+    plan: FaultPlan, seed: int, interval: float = 5.0
+) -> Dict[str, Any]:
+    """E5C: liveness pings to a blocked outside service.
+
+    The E5 question — can a device reach the service at all — asked
+    across a censored border: inside users ping ``svc0`` every 10 s via
+    their circumvention clients.
+    """
+
+    def attempt_factory(
+        network: Network,
+        client: CircumventionClient,
+        attempts: List[Tuple[float, bool]],
+    ) -> Callable[[], Generator]:
+        if not network.node("svc0").has_handler("ping"):
+            network.node("svc0").register_handler(
+                "ping", lambda node, payload, sender: "pong"
+            )
+
+        def attempt() -> Generator:
+            try:
+                yield from client.request("svc0", "ping")
+            except RpcTimeoutError:
+                attempts.append((network.sim.now, False))
+                return
+            attempts.append((network.sim.now, True))
+        return attempt
+
+    return _run_censor_scenario(
+        "E5C", plan, seed, interval, attempt_factory, period=10.0
+    )
+
+
+def run_chaos_e9c(
+    plan: FaultPlan, seed: int, interval: float = 5.0
+) -> Dict[str, Any]:
+    """E9C: chunked blob retrieval from a blocked outside service.
+
+    ``svc0`` serves a 4-chunk blob; every 30 s each inside user pulls
+    all four chunks through its circumvention client.  An attempt
+    succeeds only if every chunk arrives — partial retrievals count as
+    failures, so mid-fetch re-blocking (a relay dying between chunk 2
+    and 3) is visible in the reachability curve.
+    """
+    chunks = [bytes([0xA0 + i]) * 256 for i in range(4)]
+
+    def attempt_factory(
+        network: Network,
+        client: CircumventionClient,
+        attempts: List[Tuple[float, bool]],
+    ) -> Callable[[], Generator]:
+        if not network.node("svc0").has_handler("blob.chunk"):
+            network.node("svc0").register_handler(
+                "blob.chunk",
+                lambda node, payload, sender: chunks[int(payload)],
+            )
+
+        def attempt() -> Generator:
+            got = 0
+            for index in range(len(chunks)):
+                try:
+                    data = yield from client.request(
+                        "svc0", "blob.chunk", index
+                    )
+                except RpcTimeoutError:
+                    break
+                if data == chunks[index]:
+                    got += 1
+            attempts.append((network.sim.now, got == len(chunks)))
+        return attempt
+
+    return _run_censor_scenario(
+        "E9C", plan, seed, interval, attempt_factory, period=30.0
+    )
+
+
 #: Experiment key -> chaos scenario runner.
 SCENARIOS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "E4": run_chaos_e4,
+    "E4C": run_chaos_e4c,
     "E4P": run_chaos_e4p,
     "E5": run_chaos_e5,
+    "E5C": run_chaos_e5c,
     "E6": run_chaos_e6,
     "E9": run_chaos_e9,
+    "E9C": run_chaos_e9c,
 }
 
 

@@ -1,7 +1,16 @@
-"""Gossip substrate: anti-entropy replication and flooding pub/sub."""
+"""Gossip substrate: anti-entropy replication, flooding pub/sub, and
+censorship-circumvention relay discovery."""
 
 from repro.gossip.antientropy import AntiEntropyNode, ReplicaStore, Versioned
 from repro.gossip.pubsub import PubSubMessage, PubSubNode, build_pubsub_overlay
+from repro.gossip.relay import (
+    RELAY_DIRECTORY_KEY,
+    RELAY_METHOD_PREFIX,
+    CircumventionClient,
+    RelayNode,
+    discover_relays,
+    publish_relay_directory,
+)
 
 __all__ = [
     "AntiEntropyNode",
@@ -10,4 +19,10 @@ __all__ = [
     "PubSubMessage",
     "PubSubNode",
     "build_pubsub_overlay",
+    "RELAY_DIRECTORY_KEY",
+    "RELAY_METHOD_PREFIX",
+    "CircumventionClient",
+    "RelayNode",
+    "discover_relays",
+    "publish_relay_directory",
 ]

@@ -22,8 +22,9 @@ Rules (see ``docs/LINTING.md`` for the full catalog and rationale):
 * **ERR001** — no ``except Exception`` that neither re-raises nor raises
   a :mod:`repro.errors` type.
 * **API001** — ``__all__`` must match the module's public definitions.
-* **FLT001** — no direct mutation of transport fault state outside
-  ``repro.faults``; faults must be declared as ``FaultPlan`` events.
+* **FLT001** — no direct mutation of transport fault/censor state
+  (including in-place blocklist edits) outside ``repro.faults``; faults
+  must be declared as ``FaultPlan`` events.
 * **BEN001** — no host-clock reads inside ``repro/bench/`` benchmark
   bodies; only ``repro/bench/harness.py`` times.
 * **SHD001** — no direct cross-shard state mutation outside

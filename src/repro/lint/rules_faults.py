@@ -10,6 +10,14 @@ construction, or calling ``_set_fault_surface`` — creates faults no
 plan records, so the run can neither be replayed from its report nor
 checked by FLT-aware tooling.
 
+Censorship campaigns are fault state too: assigning ``_censor``,
+installing a surface via ``_set_censor_surface``, or editing a
+``CensorSurface.blocklist`` in place (``.add``/``.discard``/...)
+rewrites the censor's behavior behind the :class:`~repro.faults.Censor`
+event that owns it — re-blocking that never happened in the plan, so
+the reported censor cost model and detection log no longer describe
+the run.
+
 Exempt: the :mod:`repro.faults` package itself (the one sanctioned
 caller) and ``repro/net/transport.py`` (where the state lives).  The
 public ``Network.partition()`` / ``Network.heal()`` methods and
@@ -30,12 +38,18 @@ __all__ = ["DirectFaultMutation"]
 #: Transport fault-state attributes nobody outside the exempt modules
 #: may assign to.
 FAULT_STATE_ATTRS = frozenset({
-    "_partition", "_faults", "loss_rate", "drop_prob", "corrupt_prob",
-    "latency_factor",
+    "_partition", "_faults", "_censor", "loss_rate", "drop_prob",
+    "corrupt_prob", "latency_factor", "blocklist",
 })
 
-#: Internal fault-surface installer only repro.faults may call.
-FAULT_SETTER = "_set_fault_surface"
+#: Internal surface installers only repro.faults may call.
+FAULT_SETTERS = frozenset({"_set_fault_surface", "_set_censor_surface"})
+
+#: Set methods that mutate a ``CensorSurface.blocklist`` in place.
+BLOCKLIST_MUTATORS = frozenset({
+    "add", "discard", "remove", "update", "clear", "pop",
+    "difference_update", "intersection_update", "symmetric_difference_update",
+})
 
 
 def _is_exempt(ctx: LintContext) -> bool:
@@ -49,8 +63,9 @@ class DirectFaultMutation(Rule):
     rationale = (
         "Faults must be declared as FaultPlan events so chaos runs are"
         " recorded, replayable, and invariant-checked; assigning"
-        " Network._partition / _faults / loss_rate (or calling"
-        " _set_fault_surface) injects a fault no plan knows about."
+        " Network._partition / _faults / _censor / loss_rate, calling"
+        " _set_fault_surface / _set_censor_surface, or editing a censor"
+        " blocklist in place injects a fault no plan knows about."
     )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
@@ -76,12 +91,23 @@ class DirectFaultMutation(Rule):
                         )
             elif isinstance(node, ast.Call):
                 func = node.func
-                if (
-                    isinstance(func, ast.Attribute)
-                    and func.attr == FAULT_SETTER
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr in FAULT_SETTERS:
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        f"call to '{func.attr}' outside repro.faults;"
+                        " only FaultInjector may install a fault surface",
+                    )
+                elif (
+                    func.attr in BLOCKLIST_MUTATORS
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "blocklist"
                 ):
                     yield ctx.finding(
                         self.rule_id, node,
-                        f"call to '{FAULT_SETTER}' outside repro.faults;"
-                        " only FaultInjector may install a fault surface",
+                        "in-place blocklist mutation outside repro.faults;"
+                        " re-blocking must come from a Censor event's"
+                        " detect_prob/reblock_delay so the campaign stays"
+                        " replayable",
                     )

@@ -20,13 +20,22 @@ from repro.net.latency import (
     UniformLatency,
 )
 from repro.net.node import Node, NodeClass
-from repro.net.transport import DEFAULT_MESSAGE_BYTES, FaultSurface, Network
+from repro.net.topology import isp_tree, nodes_in_region
+from repro.net.transport import (
+    DEFAULT_MESSAGE_BYTES,
+    CensorSurface,
+    FaultSurface,
+    Network,
+)
 
 __all__ = [
     "Node",
     "NodeClass",
     "Network",
+    "CensorSurface",
     "FaultSurface",
+    "isp_tree",
+    "nodes_in_region",
     "DEFAULT_MESSAGE_BYTES",
     "LatencyModel",
     "ConstantLatency",

@@ -13,7 +13,7 @@ Every builder takes an explicit ``seed`` so topologies are reproducible.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import networkx as nx
 
@@ -23,6 +23,7 @@ from repro.sim.rng import seeded_rng
 __all__ = [
     "star",
     "isp_tree",
+    "nodes_in_region",
     "random_graph",
     "small_world",
     "scale_free",
@@ -49,10 +50,22 @@ def star(center: str, leaves: Sequence[str]) -> nx.Graph:
 
 
 def isp_tree(
-    n_isps: int, users_per_isp: int, isp_prefix: str = "isp", user_prefix: str = "user"
+    n_isps: int,
+    users_per_isp: int,
+    isp_prefix: str = "isp",
+    user_prefix: str = "user",
+    regions: Optional[Sequence[str]] = None,
 ) -> nx.Graph:
     """The 1990s-Internet shape the paper calls semi-democratized (§2):
-    hundreds of ISPs, each serving its own users, ISPs fully meshed."""
+    hundreds of ISPs, each serving its own users, ISPs fully meshed.
+
+    Every node carries an ``asn`` attribute (its ISP's index — users
+    inherit their access ISP's AS) and, when ``regions`` is given, a
+    ``region`` attribute: ISPs are assigned to regions round-robin and
+    users sit in their ISP's region.  Censorship campaigns
+    (:class:`repro.faults.Censor`) draw their border from these labels
+    via :func:`nodes_in_region`.
+    """
     graph = nx.Graph()
     isps = _ids(isp_prefix, n_isps)
     for i, isp_a in enumerate(isps):
@@ -61,9 +74,30 @@ def isp_tree(
     if n_isps == 1:
         graph.add_node(isps[0])
     for i, isp in enumerate(isps):
+        graph.nodes[isp]["asn"] = i
+        if regions:
+            graph.nodes[isp]["region"] = regions[i % len(regions)]
         for j in range(users_per_isp):
-            graph.add_edge(isp, f"{user_prefix}{i}_{j}")
+            user = f"{user_prefix}{i}_{j}"
+            graph.add_edge(isp, user)
+            graph.nodes[user]["asn"] = i
+            if regions:
+                graph.nodes[user]["region"] = graph.nodes[isp]["region"]
     return graph
+
+
+def nodes_in_region(graph: nx.Graph, region: str) -> List[str]:
+    """All node ids labelled with ``region``, sorted (a censor border).
+
+    Raises if the graph carries no region labels at all — asking for a
+    border on an unlabelled topology is a setup bug, not an empty set.
+    """
+    if not any("region" in data for _, data in graph.nodes(data=True)):
+        raise NetworkError("graph has no region labels (see isp_tree)")
+    return sorted(
+        node for node, data in graph.nodes(data=True)
+        if data.get("region") == region
+    )
 
 
 def random_graph(count: int, edge_prob: float, seed: int, prefix: str = "n") -> nx.Graph:

@@ -32,6 +32,15 @@ partition map outside :mod:`repro.faults` is flagged by lint rule
 FLT001 — benches and tests go through a
 :class:`~repro.faults.FaultPlan`.
 
+Censorship: a :class:`CensorSurface` (installed by the same injector
+while a :class:`~repro.faults.plan.Censor` campaign is open) adds an
+asymmetric national border on top of partitions.  Crossing traffic to a
+blocklisted endpoint is hard-dropped in the blocked direction (drop
+reason ``"censor"``, and :meth:`Network.can_reach` becomes
+order-sensitive) and probabilistically degraded in the other; every
+fingerprinted crossing message is reported to the campaign's DPI
+observation hook, which is how relays get detected and re-blocked.
+
 The transport also keeps exact flow accounting — every message leg is
 ``sent`` and then exactly one of ``delivered`` or ``dropped`` (send-time
 loss, or arrival-time loss/offline/partition/corrupt), with the
@@ -58,7 +67,8 @@ from repro.sim.engine import AnyOf, Signal, Simulator, Timeout
 from repro.sim.monitor import Monitor
 from repro.sim.rng import RngStreams
 
-__all__ = ["FaultSurface", "Network", "DEFAULT_MESSAGE_BYTES"]
+__all__ = ["CensorSurface", "FaultSurface", "Network",
+           "DEFAULT_MESSAGE_BYTES"]
 
 DEFAULT_MESSAGE_BYTES = 512
 
@@ -106,6 +116,133 @@ class FaultSurface:
         return (
             f"FaultSurface(drop={self.drop_prob},"
             f" latency_x={self.latency_factor}, corrupt={self.corrupt_prob})"
+        )
+
+
+class CensorSurface:
+    """Active censorship-campaign state over the transport.
+
+    Installed on a :class:`Network` by :class:`repro.faults.FaultInjector`
+    while a :class:`~repro.faults.plan.Censor` campaign is open, and
+    cleared back to ``None`` at heal.  It owns the border membership
+    (``inside``), the growing endpoint ``blocklist`` (initial banned
+    services plus relays the campaign re-blocks), and the directional
+    verdict logic; the per-blocked-flow cost counters make the censor's
+    collateral-damage curve measurable.
+
+    The injector remains the campaign's brain: degrade drops draw from
+    the dedicated ``faults.censor.degrade`` stream it supplies, and
+    every fingerprinted crossing message is reported through
+    ``on_fingerprint`` so detection draws and delayed re-blocking stay
+    plan machinery (and in the trace), not transport state.  Direct
+    mutation of the surface or its blocklist outside :mod:`repro.faults`
+    is flagged by lint rule FLT001.
+    """
+
+    __slots__ = ("inside", "blocklist", "direction", "degrade_prob",
+                 "fingerprints", "degrade_rng", "on_fingerprint",
+                 "blocked_flows", "collateral_flows", "degraded_drops")
+
+    def __init__(
+        self,
+        inside: Iterable[str],
+        blocked: Iterable[str],
+        direction: str,
+        degrade_prob: float,
+        fingerprints: Iterable[str],
+        degrade_rng: Optional["random.Random"] = None,
+        on_fingerprint: Optional[Any] = None,
+    ):
+        if direction not in ("outbound", "both"):
+            raise NetworkError(
+                f"censor direction must be 'outbound' or 'both':"
+                f" {direction!r}"
+            )
+        if not 0 <= degrade_prob <= 1:
+            raise NetworkError(
+                f"degrade_prob must be in [0, 1]: {degrade_prob}"
+            )
+        if degrade_prob > 0 and degrade_rng is None:
+            raise NetworkError("degrade_prob > 0 needs a degrade_rng")
+        self.inside = frozenset(inside)
+        self.blocklist = set(blocked)
+        self.direction = direction
+        self.degrade_prob = degrade_prob
+        self.fingerprints = tuple(fingerprints)
+        self.degrade_rng = degrade_rng
+        self.on_fingerprint = on_fingerprint
+        # Cost model: every flow the campaign kills, split into
+        # fingerprinted (intended) and collateral (innocent) damage.
+        self.blocked_flows = 0
+        self.collateral_flows = 0
+        self.degraded_drops = 0
+
+    def crossing(self, src_id: str, dst_id: str) -> bool:
+        """Does a src→dst message cross the national border?"""
+        return (src_id in self.inside) != (dst_id in self.inside)
+
+    def fingerprinted(self, method: str) -> bool:
+        """Does the method carry a protocol fingerprint the DPI watches?"""
+        for prefix in self.fingerprints:
+            if method.startswith(prefix):
+                return True
+        return False
+
+    def hard_blocks(self, src_id: str, dst_id: str) -> bool:
+        """Deterministic directional block (the censor leg of
+        :meth:`Network.can_reach` — order-sensitive)."""
+        if not self.crossing(src_id, dst_id):
+            return False
+        remote = dst_id if src_id in self.inside else src_id
+        if remote not in self.blocklist:
+            return False
+        return self.direction == "both" or src_id in self.inside
+
+    def verdict(self, src_id: str, dst_id: str, method: str) -> Optional[str]:
+        """Delivery-time decision for one crossing message.
+
+        Returns ``None`` (pass), ``"blocked"`` (hard directional drop)
+        or ``"degraded"`` (probabilistic drop in the degraded
+        direction), maintaining the cost counters and feeding every
+        fingerprinted crossing message to the DPI observation hook —
+        even messages that ultimately pass, which is exactly how relay
+        traffic leaks to the censor.
+        """
+        if not self.crossing(src_id, dst_id):
+            return None
+        is_relay_traffic = self.fingerprinted(method)
+        if is_relay_traffic and self.on_fingerprint is not None:
+            self.on_fingerprint(src_id, dst_id, method)
+        remote = dst_id if src_id in self.inside else src_id
+        if remote not in self.blocklist:
+            return None
+        if self.direction == "both" or src_id in self.inside:
+            self.blocked_flows += 1
+            if not is_relay_traffic:
+                self.collateral_flows += 1
+            return "blocked"
+        rng = self.degrade_rng
+        if (self.degrade_prob > 0 and rng is not None
+                and rng.random() < self.degrade_prob):
+            self.degraded_drops += 1
+            if not is_relay_traffic:
+                self.collateral_flows += 1
+            return "degraded"
+        return None
+
+    def cost_snapshot(self) -> Dict[str, int]:
+        """The campaign's running cost counters."""
+        return {
+            "blocked_flows": self.blocked_flows,
+            "collateral_flows": self.collateral_flows,
+            "degraded_drops": self.degraded_drops,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CensorSurface(inside={len(self.inside)},"
+            f" blocklist={len(self.blocklist)},"
+            f" direction={self.direction!r})"
         )
 
 
@@ -157,6 +294,9 @@ class Network:
         # Fault surface: None unless a FaultPlan window is active
         # (installed only by repro.faults.FaultInjector; FLT001).
         self._faults: Optional[FaultSurface] = None
+        # Censor surface: None unless a Censor campaign is active
+        # (same installer, same lint rule).
+        self._censor: Optional[CensorSurface] = None
         # Flow accounting: sent == delivered + dropped + in_flight at
         # every instant (the chaos conservation invariant).
         self._flow_sent = 0
@@ -247,6 +387,12 @@ class Network:
                 self._flow_dropped += 1
                 self._msg_event("msg_drop", src_id, dst_id, method,
                                 size_bytes, reason="offline")
+                return
+            if (self._censor is not None
+                    and self._censored(src_id, dst_id, method)):
+                self._flow_dropped += 1
+                self._msg_event("msg_drop", src_id, dst_id, method,
+                                size_bytes, reason="censor")
                 return
             if not self.can_reach(src_id, dst_id):
                 self.monitor.counters.increment("messages_partitioned")
@@ -443,6 +589,12 @@ class Network:
             self.monitor.counters.increment("messages_to_offline")
             self._flow_dropped += 1
             return  # caller times out
+        if (self._censor is not None
+                and self._censored(src.node_id, dst.node_id, method)):
+            self._flow_dropped += 1
+            self._msg_event("msg_drop", src.node_id, dst.node_id, method,
+                            0, reason="censor", leg="rpc_request")
+            return  # caller times out
         if not self.can_reach(src.node_id, dst.node_id):
             self.monitor.counters.increment("messages_partitioned")
             self._flow_dropped += 1
@@ -507,6 +659,13 @@ class Network:
                                 "response", response_bytes, reason="offline",
                                 leg="rpc_response")
                 return
+            if (self._censor is not None
+                    and self._censored(dst.node_id, src.node_id, "response")):
+                self._flow_dropped += 1
+                self._msg_event("msg_drop", dst.node_id, src.node_id,
+                                "response", response_bytes,
+                                reason="censor", leg="rpc_response")
+                return
             if not self.can_reach(dst.node_id, src.node_id):
                 self.monitor.counters.increment("messages_partitioned")
                 self._flow_dropped += 1
@@ -564,13 +723,28 @@ class Network:
         return self._partition is not None
 
     def can_reach(self, src_id: str, dst_id: str) -> bool:
-        """Are two nodes on the same side of the current partition?"""
-        if self._partition is None:
-            return True
-        implicit = -1
-        return self._partition.get(src_id, implicit) == self._partition.get(
-            dst_id, implicit
-        )
+        """Can a message travel from ``src_id`` to ``dst_id`` right now?
+
+        Partitions are symmetric (same-side check), but a censor
+        campaign makes the answer **order-sensitive**: under an
+        ``outbound`` campaign an inside node cannot reach a blocklisted
+        outside endpoint while the reverse direction merely degrades
+        (``can_reach(out, in)`` stays ``True``; the probabilistic
+        degrade drop happens at delivery time).  Both legs are consulted
+        at *delivery* time by the transport, so faults landing while a
+        message is in flight still kill it.
+        """
+        partition = self._partition
+        if partition is not None:
+            implicit = -1
+            if partition.get(src_id, implicit) != partition.get(
+                dst_id, implicit
+            ):
+                return False
+        censor = self._censor
+        if censor is not None and censor.hard_blocks(src_id, dst_id):
+            return False
+        return True
 
     # -- internals ------------------------------------------------------------
 
@@ -639,6 +813,26 @@ class Network:
             delay *= faults.latency_factor
         return delay
 
+    def _censored(self, src_id: str, dst_id: str, method: str) -> bool:
+        """Delivery-time censor verdict for one message leg.
+
+        Checked *before* the partition test so a censor kill is
+        attributed (counter, drop reason, cost model) to the campaign
+        rather than to whatever partition may also be open.  Callers
+        guard on ``self._censor is not None`` inline, keeping the quiet
+        path (no campaign) to one attribute load per leg.
+        """
+        censor = self._censor
+        if censor is None:
+            return False
+        verdict = censor.verdict(src_id, dst_id, method)
+        if verdict is None:
+            return False
+        self.monitor.counters.increment("messages_censored")
+        if self._metrics is not None:
+            self._metrics.inc(f"faults.censor.{verdict}")
+        return True
+
     def _set_fault_surface(self, surface: Optional[FaultSurface]) -> None:
         """Install (or clear, with ``None``) transport fault injection.
 
@@ -652,6 +846,21 @@ class Network:
     def fault_surface(self) -> Optional[FaultSurface]:
         """The active fault surface (``None`` when no plan window is open)."""
         return self._faults
+
+    def _set_censor_surface(self, surface: Optional["CensorSurface"]) -> None:
+        """Install (or clear, with ``None``) a censorship campaign.
+
+        Internal API for :class:`repro.faults.FaultInjector`; every
+        other caller must express censorship as a
+        :class:`~repro.faults.plan.Censor` plan event (lint rule
+        FLT001).
+        """
+        self._censor = surface
+
+    @property
+    def censor_surface(self) -> Optional["CensorSurface"]:
+        """The active censor surface (``None`` when no campaign is open)."""
+        return self._censor
 
     def flow_snapshot(self) -> Dict[str, int]:
         """Exact per-leg message accounting (conservation invariant).

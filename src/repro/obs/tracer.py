@@ -34,6 +34,8 @@ kind                 emitted by
 ``fault_injected``   :class:`repro.faults.FaultInjector` opening a fault
                      (partition/crash/window start)
 ``fault_healed``     the matching heal/restart/window end
+``censor_detected``  the censor's DPI detecting a relay (``relay``)
+``censor_reblocked`` a detected relay joining the blocklist
 ``invariant_checked`` one :class:`repro.faults.InvariantHarness` sweep
                      (``checked``/``violated`` counts)
 ``invariant_violated`` a single invariant failure (``name``, ``message``)

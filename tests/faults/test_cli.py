@@ -48,7 +48,7 @@ class TestListing:
     def test_list_prints_presets_and_scenarios(self, capsys):
         assert main(["chaos", "--list"]) == 0
         out = capsys.readouterr().out
-        assert "scenarios: E4 E4P E5 E6 E9" in out
+        assert "scenarios: E4 E4C E4P E5 E5C E6 E9 E9C" in out
         for preset in ("quiet", "server-kill", "churn-storm",
                        "registration-partition", "device-flap"):
             assert preset in out

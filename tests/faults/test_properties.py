@@ -203,3 +203,84 @@ def test_quiet_plan_is_fault_free(seed):
     run_workload(FaultPlan([], name="quiet"), seed, tracer=tracer)
     assert tracer.count("fault_injected") == 0
     assert tracer.count("fault_healed") == 0
+
+
+# --------------------------------------------------------------------------
+# Overlapping-window composition: the PR-10 heal-guard property.
+# --------------------------------------------------------------------------
+
+@st.composite
+def overlapping_plans(draw):
+    """Plans built to collide: every window edge is drawn from a pool of
+    four instants, so identical and overlapping Partition/DropBurst
+    windows — including events equal in every field — are the common
+    case, not a rare one.  Exactly the shape that used to double-heal."""
+    pool = sorted(draw(st.lists(
+        st.sampled_from([10.0, 20.0, 30.0, 40.0, 55.0, 70.0]),
+        min_size=4, max_size=4, unique=True,
+    )))
+    groups = (NODES[:2], NODES[2:])
+
+    def window_events(count):
+        events = []
+        for _ in range(count):
+            at = draw(st.sampled_from(pool[:-1]))
+            heal = draw(st.one_of(st.none(), st.sampled_from(
+                [t for t in pool if t > at]
+            )))
+            if draw(st.booleans()):
+                events.append(Partition(groups, at=at, heal_at=heal))
+            else:
+                end = heal if heal is not None else HORIZON - 10.0
+                events.append(DropBurst(window=(at, end), prob=0.5))
+        return events
+
+    return FaultPlan(window_events(draw(st.integers(2, 5))), name="overlap")
+
+
+def run_overlap_workload(plan, seed):
+    tracer = Tracer()
+    with observe(tracer=tracer):
+        sim = Simulator()
+        streams = RngStreams(seed)
+        network = Network(sim, streams, latency=ConstantLatency(0.05))
+        for node_id in NODES:
+            node = network.create_node(node_id)
+            node.register_handler("ping", lambda n, payload, sender: None)
+        for i, src in enumerate(NODES):
+            dst = NODES[(i + 2) % len(NODES)]  # always cross-group
+            t = 1.0
+            while t < HORIZON - 5.0:
+                sim.schedule_at(t + 0.7 * i, network.send,
+                                src, dst, "ping", t)
+                t += 3.0
+        injector = FaultInjector(sim, network, plan, streams)
+        harness = InvariantHarness(sim, network, injector, interval=5.0)
+        harness.add(message_conservation())
+        harness.add(no_double_resume())
+        injector.arm()
+        harness.start()
+        sim.run(until=HORIZON + 30.0)
+        return network, injector, tracer, harness.finish()
+
+
+@chaos_settings
+@given(plan=overlapping_plans(), seed=st.integers(min_value=0, max_value=2**20))
+def test_overlapping_windows_conserve_messages_and_never_double_heal(
+    plan, seed
+):
+    network, injector, tracer, violations = run_overlap_workload(plan, seed)
+    assert violations == []
+    flow = network.flow_snapshot()
+    assert flow["in_flight"] == 0
+    assert flow["delivered"] + flow["dropped"] == flow["sent"]
+    # Last-writer-wins with guarded heals: a replaced event's heal is a
+    # no-op, so heals can never outnumber injections — and each event
+    # heals at most once even when another event equals it field-for-field.
+    assert tracer.count("fault_healed") <= tracer.count("fault_injected")
+    # If every partition in the plan carries a heal, none may leak past
+    # its window: the last writer's heal always lands.
+    if all(e.heal_at is not None
+           for e in plan.events if isinstance(e, Partition)):
+        assert not injector.partition_active
+        assert network.can_reach(NODES[0], NODES[2])

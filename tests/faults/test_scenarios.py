@@ -148,9 +148,73 @@ class TestE9DeviceFlap:
         assert report["violations"] == []
 
 
+class TestCensorGoldens:
+    """Seed-1 goldens for the censorship scenarios: reachability,
+    time-to-reblock, and the censor cost model (the PR-10 acceptance
+    pins)."""
+
+    @pytest.fixture(scope="class")
+    def e5c_probing(self):
+        return run("E5C", "border-block-probing", seed=1)
+
+    def test_static_blocklist_relays_keep_full_reachability(self):
+        report = run("E4C", "border-block", seed=1)
+        assert report["result"]["reachability"] == 1.0
+        assert report["result"]["relays_reblocked"] == 0
+        # Every hard kill under the static plan hit unfingerprinted
+        # direct traffic: pure collateral damage.
+        assert report["result"]["censor_cost"] == {
+            "blocked_flows": 39, "collateral_flows": 39,
+            "degraded_drops": 0, "relays_reblocked": 0,
+        }
+        assert report["invariants"]["violated"] == 0
+
+    def test_probing_campaign_reblocks_every_relay(self, e5c_probing):
+        result = e5c_probing["result"]
+        assert result["reachability"] == 0.85
+        assert result["relays_detected"] == 4
+        assert result["relays_reblocked"] == 4
+        assert result["first_detection_at"] == pytest.approx(65.550045056)
+        assert result["first_reblock_at"] == pytest.approx(80.550045056)
+        assert result["censor_cost"] == {
+            "blocked_flows": 88, "collateral_flows": 24,
+            "degraded_drops": 23, "relays_reblocked": 4,
+        }
+
+    def test_probing_reachability_collapses_then_recovers(self, e5c_probing):
+        timeline = e5c_probing["result"]["timeline"]
+        assert timeline[0]["ok"] == timeline[0]["attempts"]  # pre-campaign
+        mid = [b for b in timeline if b["t"] in (100.0, 200.0)]
+        assert all(b["ok"] == 0 for b in mid)  # all relays reblocked
+        assert timeline[-1]["ok"] == timeline[-1]["attempts"]  # healed
+
+    def test_e9c_partial_retrievals_count_as_failures(self):
+        report = run("E9C", "border-block-probing", seed=1)
+        result = report["result"]
+        assert result["attempts"] == 34
+        assert result["ok"] == 26
+        assert result["relays_reblocked"] == 4
+        assert result["censor_cost"]["blocked_flows"] == 72
+        assert report["invariants"]["violated"] == 0
+
+    def test_border_flap_overlapping_campaigns(self):
+        # Two overlapping campaigns: one replacement, one real heal.
+        report = run("E5C", "border-flap", seed=1)
+        assert report["faults"] == {"injected": 2, "healed": 1}
+        assert report["result"]["relays_reblocked"] == 4
+        assert report["invariants"]["violated"] == 0
+
+    def test_censor_reports_are_deterministic(self):
+        first = run("E4C", "border-block-probing", seed=1)
+        second = run("E4C", "border-block-probing", seed=1)
+        assert first == second
+
+
 class TestScenarioRegistry:
     def test_registry_contents(self):
-        assert sorted(SCENARIOS) == ["E4", "E4P", "E5", "E6", "E9"]
+        assert sorted(SCENARIOS) == [
+            "E4", "E4C", "E4P", "E5", "E5C", "E6", "E9", "E9C",
+        ]
 
     def test_unknown_experiment_rejected(self):
         from repro.errors import FaultError

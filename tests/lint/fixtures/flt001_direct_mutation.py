@@ -5,3 +5,9 @@ def sabotage(network):
     network._partition = {"a": 0, "b": 1}
     network.loss_rate = 0.5
     network._set_fault_surface(None)
+
+
+def censor_by_hand(network, surface):
+    network._censor = surface
+    network._set_censor_surface(surface)
+    surface.blocklist.add("relay0")

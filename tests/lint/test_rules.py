@@ -369,6 +369,49 @@ class TestFLT001:
         """
         assert rule_ids(src) == []
 
+    def test_censor_assignment_flagged(self):
+        src = """
+        def censor_by_hand(network, surface):
+            network._censor = surface
+        """
+        assert rule_ids(src) == ["FLT001"]
+
+    def test_set_censor_surface_call_flagged(self):
+        src = """
+        def install(network, surface):
+            network._set_censor_surface(surface)
+        """
+        assert rule_ids(src) == ["FLT001"]
+
+    def test_blocklist_in_place_mutation_flagged(self):
+        for mutation in ("surface.blocklist.add('relay0')",
+                         "surface.blocklist.discard('svc0')",
+                         "surface.blocklist.update(ids)",
+                         "surface.blocklist.clear()"):
+            src = f"def poke(surface, ids):\n    {mutation}\n"
+            assert rule_ids(src) == ["FLT001"], mutation
+
+    def test_blocklist_reassignment_flagged(self):
+        assert rule_ids(
+            "def poke(surface):\n    surface.blocklist = set()\n"
+        ) == ["FLT001"]
+
+    def test_censor_mutation_exempt_inside_faults(self):
+        src = """
+        def reblock(surface, relay):
+            surface.blocklist.add(relay)
+        """
+        assert rule_ids(src, path="src/repro/faults/injector.py") == []
+
+    def test_unrelated_set_mutation_clean(self):
+        src = """
+        def track(state, relay):
+            state.seen.add(relay)
+            blocklist = set()
+            blocklist.add(relay)
+        """
+        assert rule_ids(src) == []
+
 
 BENCH_PATH = "src/repro/bench/micro.py"
 
